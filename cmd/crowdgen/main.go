@@ -1,0 +1,88 @@
+// Command crowdgen generates a synthetic crowdfunding world and prints
+// its ground-truth summary, optionally writing the raw entities to a
+// directory as JSON for inspection.
+//
+// Usage:
+//
+//	crowdgen -seed 42 -scale 0.02 [-out dir]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"crowdscope/internal/ecosystem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crowdgen: ")
+	seed := flag.Int64("seed", 42, "generation seed")
+	scale := flag.Float64("scale", 0.01, "fraction of paper scale (1.0 = 744,036 startups)")
+	out := flag.String("out", "", "optional directory to dump entity JSON into")
+	flag.Parse()
+
+	w, err := ecosystem.Generate(ecosystem.NewConfig(*seed, *scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gt := w.Summarize()
+	fmt.Printf("world generated: seed=%d scale=%g\n", *seed, *scale)
+	fmt.Printf("  startups                 %d\n", gt.Startups)
+	fmt.Printf("  users                    %d\n", gt.Users)
+	fmt.Printf("  investors / founders / employees  %d / %d / %d\n", gt.Investors, gt.Founders, gt.Employees)
+	fmt.Printf("  facebook / twitter / both / none  %d / %d / %d / %d\n", gt.WithFacebook, gt.WithTwitter, gt.WithBoth, gt.WithNeither)
+	fmt.Printf("  demo videos              %d\n", gt.WithVideo)
+	fmt.Printf("  funded companies         %d\n", gt.Successful)
+	fmt.Printf("  crunchbase entries       %d\n", gt.CrunchBaseEntries)
+	fmt.Printf("  investing investors      %d (mean %.2f, median %.0f, max %d investments)\n",
+		gt.InvestingInvestors, gt.MeanInvestments, gt.MedianInvestments, gt.MaxInvestments)
+	fmt.Printf("  investment edges         %d over %d companies (%.2f investors/company)\n",
+		gt.InvestmentEdges, gt.InvestedCompanies, gt.MeanInvestorsPerCo)
+	fmt.Printf("  planted communities      %d\n", len(w.Communities))
+	fmt.Printf("  planted syndicates       %d\n", gt.Syndicates)
+
+	if *out == "" {
+		return
+	}
+	if err := dump(w, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("entities written to %s\n", *out)
+}
+
+func dump(w *ecosystem.World, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, v any) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(v); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("startups.json", w.Startups); err != nil {
+		return err
+	}
+	if err := write("users.json", w.Users); err != nil {
+		return err
+	}
+	if err := write("crunchbase.json", w.CrunchBase); err != nil {
+		return err
+	}
+	if err := write("facebook.json", w.Facebook); err != nil {
+		return err
+	}
+	return write("twitter.json", w.Twitter)
+}

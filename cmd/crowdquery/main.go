@@ -1,0 +1,122 @@
+// Command crowdquery runs SQL-like statements (the paper's §3
+// "translation layer" for social scientists) against a crawled store.
+//
+// Usage:
+//
+//	crowdquery -store crawl-data "SELECT role, COUNT(*) AS n FROM angellist/users GROUP BY role ORDER BY n DESC"
+//	crowdquery -store crawl-data            # interactive: one statement per line
+//
+// Namespaces are the store's crawl namespaces: angellist/startups,
+// angellist/users, crunchbase/profiles, facebook/profiles,
+// twitter/profiles.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"crowdscope/internal/query"
+	"crowdscope/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crowdquery: ")
+	storeDir := flag.String("store", "crawl-data", "store directory (see crowdcrawl)")
+	flag.Parse()
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if stmt := strings.TrimSpace(strings.Join(flag.Args(), " ")); stmt != "" {
+		if err := runOne(st, stmt); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("namespaces:", strings.Join(st.Namespaces(), ", "))
+	fmt.Println("enter SELECT statements, one per line (ctrl-D to exit):")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		stmt := strings.TrimSpace(sc.Text())
+		if stmt == "" {
+			continue
+		}
+		if err := runOne(st, stmt); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func runOne(st *store.Store, stmt string) error {
+	res, err := query.Run(st, stmt)
+	if err != nil {
+		return err
+	}
+	widths := make([]int, len(res.Columns))
+	cells := make([][]string, 0, len(res.Rows)+1)
+	header := make([]string, len(res.Columns))
+	for i, c := range res.Columns {
+		header[i] = c
+		widths[i] = len(c)
+	}
+	cells = append(cells, header)
+	for _, row := range res.Rows {
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = formatValue(v)
+			if len(line[i]) > widths[i] {
+				widths[i] = len(line[i])
+			}
+		}
+		cells = append(cells, line)
+	}
+	for r, line := range cells {
+		var sb strings.Builder
+		for i, cell := range line {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(fmt.Sprintf("%-*s", widths[i], cell))
+		}
+		fmt.Println(sb.String())
+		if r == 0 {
+			var underline strings.Builder
+			for i, w := range widths {
+				if i > 0 {
+					underline.WriteString("  ")
+				}
+				underline.WriteString(strings.Repeat("-", w))
+			}
+			fmt.Println(underline.String())
+		}
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return nil
+}
+
+func formatValue(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return "NULL"
+	case float64:
+		if t == float64(int64(t)) {
+			return fmt.Sprintf("%d", int64(t))
+		}
+		return fmt.Sprintf("%.4g", t)
+	default:
+		return fmt.Sprint(v)
+	}
+}

@@ -1,0 +1,202 @@
+// Package crowdscope is a complete, self-contained reproduction of
+// "Collection, Exploration and Analysis of Crowdfunding Social Networks"
+// (Cheng et al., ExploreDB'16): an extensible exploratory platform that
+// collects crowdfunding social-network data from simulated AngelList,
+// CrunchBase, Facebook and Twitter APIs, stores it in an append-only JSON
+// store, analyzes it with a Spark-like dataflow engine, detects investor
+// communities with CoDA, and quantifies herd behaviour with the paper's
+// shared-investment metrics.
+//
+// The root package offers the end-to-end Pipeline used by the examples
+// and benchmarks: generate a calibrated synthetic world, serve it through
+// the simulated web APIs, crawl it honestly over HTTP, persist the crawl,
+// and run every analysis of the paper's evaluation. Each stage is also
+// available separately through the internal packages for callers inside
+// this module.
+package crowdscope
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"crowdscope/internal/apiserver"
+	"crowdscope/internal/core"
+	"crowdscope/internal/crawler"
+	"crowdscope/internal/ecosystem"
+	"crowdscope/internal/store"
+)
+
+// PipelineConfig parameterizes an end-to-end run.
+type PipelineConfig struct {
+	// Seed drives every stochastic choice in the run.
+	Seed int64
+	// Scale is the fraction of the paper's dataset size to simulate
+	// (1.0 = 744,036 startups). Typical: 0.01-0.05.
+	Scale float64
+	// StoreDir is where crawled JSON is persisted. Empty uses an
+	// in-process temporary directory owned by the Pipeline.
+	StoreDir string
+	// Tokens are the simulated API access tokens the crawler rotates
+	// across (the paper distributes its Twitter crawl over several
+	// machines/tokens). Default: 3 tokens.
+	Tokens []string
+	// Workers bounds crawler parallelism. Default 8.
+	Workers int
+	// FailureRate injects transient API errors, exercising retries.
+	FailureRate float64
+	// TwitterLimit overrides the simulated Twitter rate window. The
+	// default is effectively unlimited because the pipeline runs in
+	// simulated time; the token-rotation ablation reinstates the real
+	// 180-calls/15-minute window against a fake clock.
+	TwitterLimit int
+}
+
+// Pipeline owns one generated world, its simulated API server, and the
+// crawled store.
+type Pipeline struct {
+	Config PipelineConfig
+	World  *ecosystem.World
+	Server *apiserver.Server
+	Store  *store.Store
+
+	ts     *httptest.Server
+	client *crawler.Client
+}
+
+// NewPipeline generates the world, starts the in-process API server and
+// opens the store. Callers must Close the pipeline.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.01
+	}
+	world, err := ecosystem.Generate(ecosystem.NewConfig(cfg.Seed, cfg.Scale))
+	if err != nil {
+		return nil, err
+	}
+	return NewPipelineFromWorld(world, cfg)
+}
+
+// NewPipelineFromWorld wraps an already-generated (possibly customized)
+// world with the API server, crawler client and store. Callers must Close
+// the pipeline.
+func NewPipelineFromWorld(world *ecosystem.World, cfg PipelineConfig) (*Pipeline, error) {
+	cfg.Scale = world.Cfg.Scale
+	if len(cfg.Tokens) == 0 {
+		cfg.Tokens = []string{"token-a", "token-b", "token-c"}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.TwitterLimit <= 0 {
+		cfg.TwitterLimit = 1 << 30
+	}
+	srv := apiserver.New(world, apiserver.Options{
+		Tokens:       cfg.Tokens,
+		FailureRate:  cfg.FailureRate,
+		Seed:         cfg.Seed,
+		TwitterLimit: cfg.TwitterLimit,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	client, err := crawler.NewClient(ts.URL, cfg.Tokens)
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	dir := cfg.StoreDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "crowdscope-store-*")
+		if err != nil {
+			ts.Close()
+			return nil, fmt.Errorf("crowdscope: temp store: %w", err)
+		}
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	return &Pipeline{
+		Config: cfg,
+		World:  world,
+		Server: srv,
+		Store:  st,
+		ts:     ts,
+		client: client,
+	}, nil
+}
+
+// BaseURL returns the simulated API endpoint.
+func (p *Pipeline) BaseURL() string { return p.ts.URL }
+
+// Crawl runs a full collection (BFS + augmentation) and persists it as
+// the next snapshot, returning the crawl summary.
+func (p *Pipeline) Crawl(ctx context.Context, snapshot int) (*crawler.Snapshot, error) {
+	cr := &crawler.Crawler{Client: p.client, Workers: p.Config.Workers}
+	snap, err := cr.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := crawler.Persist(p.Store, snap, snapshot); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// AdvanceDays evolves the world (the longitudinal simulation) and
+// refreshes the API server's derived indices.
+func (p *Pipeline) AdvanceDays(days int) {
+	for i := 0; i < days; i++ {
+		p.World.Evolve()
+	}
+	p.Server.Reload()
+}
+
+// Analyze loads the given snapshot (-1 = latest) and runs the full
+// analysis suite.
+func (p *Pipeline) Analyze(snapshot int) (*Analysis, error) {
+	companies, err := core.LoadCompanies(p.Store, snapshot)
+	if err != nil {
+		return nil, err
+	}
+	investors, err := core.LoadInvestors(p.Store, snapshot)
+	if err != nil {
+		return nil, err
+	}
+	rows, thresholds, err := core.EngagementTable(companies)
+	if err != nil {
+		return nil, err
+	}
+	b := core.BuildInvestorGraph(investors)
+	k := p.World.Cfg.NumCommunities()
+	comm, err := core.RunCommunities(b, 4, k, p.Config.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		Companies:   companies,
+		Investors:   investors,
+		Engagement:  rows,
+		Thresholds:  thresholds,
+		Graph:       core.InvestorGraphStats(b),
+		Communities: comm,
+		Fig3:        core.RunFig3(investors),
+	}, nil
+}
+
+// Analysis bundles the paper's analyses for one snapshot.
+type Analysis struct {
+	Companies   []core.Company
+	Investors   []core.Investor
+	Engagement  []core.EngagementRow
+	Thresholds  core.EngagementThresholds
+	Graph       core.GraphStats
+	Communities *core.CommunitiesResult
+	Fig3        core.Fig3Result
+}
+
+// Close shuts the API server down. The store remains readable.
+func (p *Pipeline) Close() {
+	p.ts.Close()
+}

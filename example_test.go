@@ -1,0 +1,34 @@
+package crowdscope_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"crowdscope"
+)
+
+// Example runs the smallest end-to-end pipeline: generate a world, crawl
+// it through the simulated APIs, and inspect the headline analysis.
+func Example() {
+	p, err := crowdscope.NewPipeline(crowdscope.PipelineConfig{Seed: 1, Scale: 0.001})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	snap, err := p.Crawl(context.Background(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := p.Analyze(-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("crawl complete:", snap.Stats.StartupsCrawled == len(p.World.Startups))
+	fmt.Println("engagement rows:", len(a.Engagement))
+	fmt.Println("median investments:", a.Fig3.Median)
+	// Output:
+	// crawl complete: true
+	// engagement rows: 11
+	// median investments: 1
+}

@@ -1,0 +1,72 @@
+// Engagement study: reproduces the paper's Figure 6 analysis — how social
+// media presence and engagement correlate with fundraising success — and
+// then re-runs it on a counterfactual world where social media gives no
+// edge, demonstrating how the platform supports what-if studies on the
+// generator's knobs.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"crowdscope"
+	"crowdscope/internal/core"
+	"crowdscope/internal/ecosystem"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("=== World A: calibrated to the paper (social presence matters) ===")
+	runStudy(7, nil)
+
+	fmt.Println()
+	fmt.Println("=== World B: counterfactual (social presence does not matter) ===")
+	runStudy(7, func(c *ecosystem.Config) {
+		// Flatten the success gradient: every category succeeds at the
+		// blended average rate of roughly 1.5%.
+		c.SuccessNone = 0.015
+		c.SuccessFBOnly = 0.015
+		c.SuccessTWOnly = 0.015
+		c.SuccessBoth = 0.015
+		c.EngagementLift = 1.0
+		c.VideoLift = 1.0
+	})
+}
+
+// runStudy generates, crawls and tabulates one world. mutate customizes
+// the generator config before the run.
+func runStudy(seed int64, mutate func(*ecosystem.Config)) {
+	cfg := ecosystem.NewConfig(seed, 0.005)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	world, err := ecosystem.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := crowdscope.NewPipelineFromWorld(world, crowdscope.PipelineConfig{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Crawl(context.Background(), 0); err != nil {
+		log.Fatal(err)
+	}
+	companies, err := core.LoadCompanies(p.Store, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, _, err := core.EngagementTable(companies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-58s %9s %9s\n", "category", "companies", "% success")
+	for _, r := range rows {
+		fmt.Printf("%-58s %9d %8.1f%%\n", r.Label, r.Count, r.SuccessPct)
+	}
+	if lift, err := core.Lift(rows, "Facebook"); err == nil {
+		fmt.Printf("facebook lift over no-social presence: %.1fX\n", lift)
+	}
+}

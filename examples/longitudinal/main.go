@@ -1,0 +1,61 @@
+// Longitudinal study: the paper's Section 7 plan, made concrete. The
+// scheduler crawls the world daily while it evolves — companies launch
+// and close campaigns, engagement counters move, investors keep
+// co-investing — and the per-snapshot analyses show funding and community
+// dynamics over time.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"crowdscope"
+	"crowdscope/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	p, err := crowdscope.NewPipeline(crowdscope.PipelineConfig{Seed: 5, Scale: 0.004})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	const snapshots = 4
+	const daysBetween = 30
+	ctx := context.Background()
+	fmt.Printf("%-9s %8s %10s %12s %12s\n", "snapshot", "day", "funded", "inv edges", "mean inv")
+	for s := 0; s < snapshots; s++ {
+		if _, err := p.Crawl(ctx, s); err != nil {
+			log.Fatal(err)
+		}
+		companies, err := core.LoadCompanies(p.Store, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		investors, err := core.LoadInvestors(p.Store, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		funded := 0
+		for _, c := range companies {
+			if c.Funded {
+				funded++
+			}
+		}
+		edges := 0
+		for _, inv := range investors {
+			edges += len(inv.Investments)
+		}
+		fig3 := core.RunFig3(investors)
+		fmt.Printf("%-9d %8d %10d %12d %12.2f\n", s, p.World.Day, funded, edges, fig3.Mean)
+		if s+1 < snapshots {
+			p.AdvanceDays(daysBetween)
+		}
+	}
+	fmt.Println()
+	fmt.Println("funding events and investment edges accumulate across snapshots;")
+	fmt.Println("a causality analysis would regress success at snapshot t+1 on")
+	fmt.Println("social engagement deltas between t and t+1 (paper §7).")
+}

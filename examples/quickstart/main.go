@@ -1,0 +1,55 @@
+// Quickstart: the smallest end-to-end crowdscope run. It builds a tiny
+// synthetic crowdfunding world, crawls it through the simulated web APIs,
+// and prints the paper's headline result — how much a social-media
+// presence lifts fundraising success.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"crowdscope"
+	"crowdscope/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	// A pipeline owns the generated world, the simulated AngelList /
+	// CrunchBase / Facebook / Twitter APIs, and the crawl store.
+	p, err := crowdscope.NewPipeline(crowdscope.PipelineConfig{
+		Seed:  7,
+		Scale: 0.005, // ≈3,700 startups, ≈5,500 users
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	// Crawl everything the APIs expose: BFS from the currently-raising
+	// listing, then CrunchBase/Facebook/Twitter augmentation.
+	snap, err := p.Crawl(context.Background(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawled %d startups and %d users in %d BFS rounds (%d HTTP requests)\n",
+		snap.Stats.StartupsCrawled, snap.Stats.UsersCrawled,
+		snap.Stats.Rounds, snap.Stats.Client.Requests)
+
+	// Run the analyses: the engagement table, the investor graph and the
+	// community detection pipeline.
+	a, err := p.Analyze(-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range a.Engagement[:4] {
+		fmt.Printf("%-28s %6d companies, %5.1f%% raised funding\n",
+			row.Label, row.Count, row.SuccessPct)
+	}
+	lift, err := core.Lift(a.Engagement, "Facebook")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompanies with a Facebook presence are %.0fX more likely to raise funding\n", lift)
+	fmt.Printf("(the paper reports 30X on the real AngelList snapshot)\n")
+}

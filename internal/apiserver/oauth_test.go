@@ -1,0 +1,55 @@
+package apiserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestFacebookTokenExchange(t *testing.T) {
+	s := New(testWorld(t), Options{
+		Tokens:        []string{"regular"},
+		FBAppID:       "myapp",
+		FBAppSecret:   "mysecret",
+		FBShortTokens: []string{"short1"},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A short-lived token cannot be used for data calls.
+	if code := get(t, ts.URL+"/angellist/startups/raising", "short1", nil); code != http.StatusUnauthorized {
+		t.Fatalf("short token accepted for data: %d", code)
+	}
+
+	exchange := func(query string) (int, string) {
+		resp, err := http.Get(ts.URL + "/facebook/oauth/access_token?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var tok FBTokenResponse
+		_ = json.NewDecoder(resp.Body).Decode(&tok)
+		return resp.StatusCode, tok.AccessToken
+	}
+
+	// Bad grant type / credentials / token.
+	if code, _ := exchange("grant_type=nope"); code != http.StatusBadRequest {
+		t.Errorf("bad grant type: %d", code)
+	}
+	if code, _ := exchange("grant_type=fb_exchange_token&app_id=wrong&app_secret=mysecret&fb_exchange_token=short1"); code != http.StatusUnauthorized {
+		t.Errorf("bad app id: %d", code)
+	}
+	if code, _ := exchange("grant_type=fb_exchange_token&app_id=myapp&app_secret=mysecret&fb_exchange_token=unknown"); code != http.StatusUnauthorized {
+		t.Errorf("bad short token: %d", code)
+	}
+
+	// Successful exchange yields a token valid everywhere.
+	code, long := exchange("grant_type=fb_exchange_token&app_id=myapp&app_secret=mysecret&fb_exchange_token=short1")
+	if code != http.StatusOK || long == "" {
+		t.Fatalf("exchange failed: %d %q", code, long)
+	}
+	if code := get(t, ts.URL+"/angellist/startups/raising", long, nil); code != http.StatusOK {
+		t.Fatalf("long token rejected: %d", code)
+	}
+}

@@ -1,0 +1,165 @@
+package community
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"crowdscope/internal/graph"
+)
+
+// BigCLAM fits the undirected cluster-affiliation model (Yang–Leskovec,
+// WSDM'13) to the one-mode projection of the investor graph: investors are
+// linked when they co-invested in at least MinShared companies, and
+// p(u,v) = 1 − exp(−F_u·F_v). It is the natural baseline for CoDA — what
+// the paper's analysis would look like if the bipartite structure were
+// projected away first.
+type BigCLAM struct {
+	K          int
+	MinShared  int // projection threshold; default 1
+	MaxIter    int
+	Tol        float64
+	Seed       int64
+	MinMembers int
+}
+
+// Name implements Detector.
+func (b *BigCLAM) Name() string { return "bigclam" }
+
+// Detect implements Detector.
+func (b *BigCLAM) Detect(bp *graph.Bipartite) (*Assignment, error) {
+	if b.K <= 0 {
+		return nil, fmt.Errorf("community: BigCLAM needs K > 0, got %d", b.K)
+	}
+	n := bp.NumLeft()
+	if n == 0 {
+		return &Assignment{}, nil
+	}
+	minShared := b.MinShared
+	if minShared <= 0 {
+		minShared = 1
+	}
+	maxIter := b.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	tol := b.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	minMembers := b.MinMembers
+	if minMembers <= 0 {
+		minMembers = 3
+	}
+	adj := projectionAdjacency(bp, minShared)
+	var edges int
+	for _, nb := range adj {
+		edges += len(nb)
+	}
+	edges /= 2
+	if edges == 0 {
+		return &Assignment{}, nil
+	}
+
+	rng := rand.New(rand.NewSource(b.Seed))
+	K := b.K
+	F := newMatrix(n, K)
+	// Seed from high-degree nodes' neighborhoods plus noise scaled so a
+	// column's total background mass stays O(1) (see CoDA.seed).
+	noise := 2.0 / float64(n)
+	for u := range F {
+		for k := range F[u] {
+			F[u][k] = rng.Float64() * noise
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if len(adj[order[i]]) != len(adj[order[j]]) {
+			return len(adj[order[i]]) > len(adj[order[j]])
+		}
+		return order[i] < order[j]
+	})
+	claimed := make([]bool, n)
+	k := 0
+	for _, u := range order {
+		if k >= K {
+			break
+		}
+		if claimed[u] {
+			continue
+		}
+		F[u][k] = 1
+		claimed[u] = true
+		for _, v := range adj[u] {
+			F[v][k] = 1
+			claimed[v] = true
+		}
+		k++
+	}
+
+	SF := colSums(F, K)
+	scratch := make([]float64, K)
+	prevL := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		var total float64
+		for u := 0; u < n; u++ {
+			// Exclude self from the non-neighbor sum.
+			for j := 0; j < K; j++ {
+				SF[j] -= F[u][j]
+				scratch[j] = 0
+			}
+			total += updateRow(F[u], adj[u], F, SF, scratch)
+			for j := 0; j < K; j++ {
+				SF[j] += F[u][j]
+			}
+		}
+		if prevL != math.Inf(-1) {
+			denom := math.Abs(prevL)
+			if denom < 1e-12 {
+				denom = 1e-12
+			}
+			if (total-prevL)/denom < tol && total >= prevL {
+				break
+			}
+		}
+		prevL = total
+	}
+
+	eps := 2 * float64(edges) / (float64(n) * float64(n-1))
+	if eps >= 1 {
+		eps = 0.999
+	}
+	delta := math.Sqrt(-math.Log(1 - eps))
+	a := &Assignment{Investors: make([][]int32, K)}
+	for u := 0; u < n; u++ {
+		for j := 0; j < K; j++ {
+			if F[u][j] >= delta {
+				a.Investors[j] = append(a.Investors[j], int32(u))
+			}
+		}
+	}
+	var inv [][]int32
+	for _, m := range a.Investors {
+		if len(m) >= minMembers {
+			inv = append(inv, m)
+		}
+	}
+	a.Investors = inv
+	a.normalize()
+	return a, nil
+}
+
+// projectionAdjacency converts ProjectLeft edges into adjacency lists over
+// left indices (unweighted).
+func projectionAdjacency(bp *graph.Bipartite, minShared int) [][]int32 {
+	adj := make([][]int32, bp.NumLeft())
+	for _, e := range graph.ProjectLeft(bp, minShared) {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	return adj
+}

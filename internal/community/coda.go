@@ -1,0 +1,318 @@
+package community
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"crowdscope/internal/graph"
+)
+
+// CoDA fits the Communities-through-Directed-Affiliations model of
+// Yang–McAuley–Leskovec (WSDM'14) to a directed bipartite graph: every
+// investor u carries an outgoing-membership vector F_u ≥ 0, every company
+// v an incoming-membership vector H_v ≥ 0, and an investment edge u→v
+// occurs with probability 1 − exp(−F_u·H_v). The fit maximizes the
+// log-likelihood
+//
+//	L = Σ_{(u,v)∈E} log(1 − exp(−F_u·H_v)) − Σ_{(u,v)∉E} F_u·H_v
+//
+// by block-coordinate projected gradient ascent with backtracking line
+// search; the bipartite structure makes the non-edge term exact via
+// column-sum caches (no negative sampling needed). Nodes whose membership
+// weight clears the background-density threshold δ = sqrt(−log(1−ε)) form
+// each community.
+type CoDA struct {
+	// K is the number of communities to fit (the paper's run found 96 at
+	// full scale).
+	K int
+	// MaxIter bounds outer sweeps; default 50.
+	MaxIter int
+	// Tol stops when the relative likelihood improvement per sweep falls
+	// below it; default 1e-4.
+	Tol float64
+	// Seed drives initialization noise.
+	Seed int64
+	// MinMembers drops communities with fewer investor members; default 3.
+	MinMembers int
+}
+
+// Name implements Detector.
+func (c *CoDA) Name() string { return "coda" }
+
+// fit runs the gradient ascent and returns the membership matrices F
+// (investors, outgoing) and H (companies, incoming). Used by Detect and
+// by SelectK's held-out scoring.
+func (c *CoDA) fit(b *graph.Bipartite) (F, H [][]float64, err error) {
+	if c.K <= 0 {
+		return nil, nil, fmt.Errorf("community: CoDA needs K > 0, got %d", c.K)
+	}
+	nL, nR := b.NumLeft(), b.NumRight()
+	maxIter := c.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	tol := c.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	K := c.K
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	F = newMatrix(nL, K)
+	H = newMatrix(nR, K)
+	if nL == 0 || nR == 0 || b.NumEdges() == 0 {
+		return F, H, nil
+	}
+	c.seed(b, F, H, rng)
+
+	// Column-sum caches.
+	SF := colSums(F, K)
+	SH := colSums(H, K)
+
+	prevL := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		var total float64
+		// Sweep investors.
+		for u := 0; u < nL; u++ {
+			total += updateRow(F[u], b.Fwd(int32(u)), H, SH, SF)
+		}
+		// Sweep companies (their neighbors are investors, roles swapped).
+		for v := 0; v < nR; v++ {
+			updateRow(H[v], b.Rev(int32(v)), F, SF, SH)
+		}
+		if prevL != math.Inf(-1) {
+			denom := math.Abs(prevL)
+			if denom < 1e-12 {
+				denom = 1e-12
+			}
+			if (total-prevL)/denom < tol && total >= prevL {
+				prevL = total
+				break
+			}
+		}
+		prevL = total
+	}
+	return F, H, nil
+}
+
+// Detect implements Detector.
+func (c *CoDA) Detect(b *graph.Bipartite) (*Assignment, error) {
+	nL, nR := b.NumLeft(), b.NumRight()
+	F, H, err := c.fit(b)
+	if err != nil {
+		return nil, err
+	}
+	if nL == 0 || nR == 0 || b.NumEdges() == 0 {
+		return &Assignment{}, nil
+	}
+	minMembers := c.MinMembers
+	if minMembers <= 0 {
+		minMembers = 3
+	}
+	K := c.K
+
+	// Threshold memberships by the background edge density.
+	eps := float64(b.NumEdges()) / (float64(nL) * float64(nR))
+	if eps >= 1 {
+		eps = 0.999
+	}
+	delta := math.Sqrt(-math.Log(1 - eps))
+	a := &Assignment{
+		Investors: make([][]int32, K),
+		Companies: make([][]int32, K),
+	}
+	for u := 0; u < nL; u++ {
+		for k := 0; k < K; k++ {
+			if F[u][k] >= delta {
+				a.Investors[k] = append(a.Investors[k], int32(u))
+			}
+		}
+	}
+	for v := 0; v < nR; v++ {
+		for k := 0; k < K; k++ {
+			if H[v][k] >= delta {
+				a.Companies[k] = append(a.Companies[k], int32(v))
+			}
+		}
+	}
+	// Drop undersized communities.
+	var inv, comp [][]int32
+	for k := 0; k < K; k++ {
+		if len(a.Investors[k]) >= minMembers {
+			inv = append(inv, a.Investors[k])
+			comp = append(comp, a.Companies[k])
+		}
+	}
+	a.Investors, a.Companies = inv, comp
+	a.normalize()
+	return a, nil
+}
+
+// seed initializes memberships from the neighborhoods of high-degree
+// investors (an approximation of CoDA's locally-minimal-conductance
+// seeding) plus uniform noise.
+func (c *CoDA) seed(b *graph.Bipartite, F, H [][]float64, rng *rand.Rand) {
+	nL := b.NumLeft()
+	nR := b.NumRight()
+	K := c.K
+	// Noise floor, scaled so a whole column's background mass stays O(1):
+	// with per-entry noise ~0.1 the non-edge penalty Σ_v H_v would swamp
+	// the edge term on graphs with many companies and the gradient would
+	// zero the seeds out.
+	fNoise := 2.0 / float64(nR)
+	hNoise := 2.0 / float64(nL)
+	for u := range F {
+		for k := range F[u] {
+			F[u][k] = rng.Float64() * fNoise
+		}
+	}
+	for v := range H {
+		for k := range H[v] {
+			H[v][k] = rng.Float64() * hNoise
+		}
+	}
+	// Degree-ranked seed investors, skipping ones already claimed so
+	// seeds spread across the graph.
+	order := make([]int32, nL)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := b.OutDegree(order[i]), b.OutDegree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	claimed := make([]bool, nL)
+	k := 0
+	for _, u := range order {
+		if k >= K {
+			break
+		}
+		if claimed[u] {
+			continue
+		}
+		// Seed community k with u, u's companies, and u's co-investors.
+		F[u][k] = 1
+		claimed[u] = true
+		for _, v := range b.Fwd(u) {
+			H[v][k] = 1
+			for _, w := range b.Rev(v) {
+				F[w][k] = 1
+				claimed[w] = true
+			}
+		}
+		k++
+	}
+	// Any remaining communities start from random investors.
+	for ; k < K; k++ {
+		u := int32(rng.Intn(nL))
+		F[u][k] = 1
+		for _, v := range b.Fwd(u) {
+			H[v][k] = 1
+		}
+	}
+}
+
+// updateRow performs one projected-gradient step with backtracking for a
+// single row X (either an F_u against H, or an H_v against F), returning
+// the row's post-update local likelihood. neighbors are the row's linked
+// opposite-side nodes; sumOther is the column-sum cache of the opposite
+// matrix, and sumSelf the cache of this row's own matrix (updated in
+// place).
+func updateRow(X []float64, neighbors []int32, other [][]float64, sumOther, sumSelf []float64) float64 {
+	K := len(X)
+	grad := make([]float64, K)
+	// Gradient: Σ_{v∈N} other_v * e^{-x}/(1-e^{-x}) − (sumOther − Σ_{v∈N} other_v).
+	nbrSum := make([]float64, K)
+	for _, v := range neighbors {
+		row := other[v]
+		dot := dotClamped(X, row)
+		e := math.Exp(-dot)
+		coef := e / (1 - e)
+		for k := 0; k < K; k++ {
+			grad[k] += row[k] * coef
+			nbrSum[k] += row[k]
+		}
+	}
+	for k := 0; k < K; k++ {
+		grad[k] -= sumOther[k] - nbrSum[k]
+	}
+	// Backtracking line search on the row likelihood.
+	base := rowLikelihood(X, neighbors, other, sumOther)
+	eta := 0.05
+	newX := make([]float64, K)
+	for step := 0; step < 10; step++ {
+		for k := 0; k < K; k++ {
+			v := X[k] + eta*grad[k]
+			if v < 0 {
+				v = 0
+			}
+			if v > 1000 {
+				v = 1000
+			}
+			newX[k] = v
+		}
+		if l := rowLikelihood(newX, neighbors, other, sumOther); l > base {
+			for k := 0; k < K; k++ {
+				sumSelf[k] += newX[k] - X[k]
+				X[k] = newX[k]
+			}
+			return l
+		}
+		eta /= 2
+	}
+	return base
+}
+
+// rowLikelihood computes Σ_{v∈N} log(1−e^{−X·other_v}) − X·(sumOther − Σ_{v∈N} other_v).
+func rowLikelihood(X []float64, neighbors []int32, other [][]float64, sumOther []float64) float64 {
+	var l float64
+	nbr := make([]float64, len(X))
+	for _, v := range neighbors {
+		row := other[v]
+		dot := dotClamped(X, row)
+		l += math.Log(1 - math.Exp(-dot))
+		for k := range nbr {
+			nbr[k] += row[k]
+		}
+	}
+	for k := range X {
+		l -= X[k] * (sumOther[k] - nbr[k])
+	}
+	return l
+}
+
+// dotClamped returns max(X·Y, 1e-10) so log(1−e^{−dot}) stays finite.
+func dotClamped(x, y []float64) float64 {
+	var d float64
+	for k := range x {
+		d += x[k] * y[k]
+	}
+	if d < 1e-10 {
+		d = 1e-10
+	}
+	return d
+}
+
+func newMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return m
+}
+
+func colSums(m [][]float64, k int) []float64 {
+	s := make([]float64, k)
+	for _, row := range m {
+		for j, v := range row {
+			s[j] += v
+		}
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package community
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"crowdscope/internal/graph"
+)
+
+// SelectK chooses the number of CoDA communities by hold-out link
+// prediction — the standard model-selection recipe for affiliation
+// models (and the kind of procedure behind the paper's "96 communities"):
+// 10% of investment edges are held out, the model is fitted on the rest
+// for each candidate K, and the K whose membership scores best separate
+// held-out edges from random non-edges (ROC AUC) wins.
+//
+// It returns the chosen K and the per-candidate AUCs in candidate order.
+func SelectK(b *graph.Bipartite, candidates []int, seed int64) (int, []float64, error) {
+	if len(candidates) == 0 {
+		return 0, nil, fmt.Errorf("community: SelectK needs candidates")
+	}
+	nL, nR := b.NumLeft(), b.NumRight()
+	if nL < 2 || nR < 2 || b.NumEdges() < 10 {
+		return candidates[0], make([]float64, len(candidates)), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Collect and split edges.
+	type edge struct{ u, v int32 }
+	var edges []edge
+	for u := int32(0); int(u) < nL; u++ {
+		for _, v := range b.Fwd(u) {
+			edges = append(edges, edge{u, v})
+		}
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	nHold := len(edges) / 10
+	if nHold < 5 {
+		nHold = 5
+	}
+	if nHold > len(edges)/2 {
+		nHold = len(edges) / 2
+	}
+	held := edges[:nHold]
+	train := edges[nHold:]
+
+	// Training graph keeps every node so indices line up.
+	tb := graph.NewBipartite(nL, nR)
+	for u := int32(0); int(u) < nL; u++ {
+		tb.AddLeft(b.LeftLabel(u))
+	}
+	for v := int32(0); int(v) < nR; v++ {
+		tb.AddRight(b.RightLabel(v))
+	}
+	for _, e := range train {
+		tb.AddEdge(b.LeftLabel(e.u), b.RightLabel(e.v))
+	}
+	tb.SortAdjacency()
+
+	// Negative samples: uniform non-edges of the full graph.
+	negs := make([]edge, 0, nHold)
+	for len(negs) < nHold {
+		u := int32(rng.Intn(nL))
+		v := int32(rng.Intn(nR))
+		if !b.HasEdge(b.LeftLabel(u), b.RightLabel(v)) {
+			negs = append(negs, edge{u, v})
+		}
+	}
+
+	aucs := make([]float64, len(candidates))
+	bestK, bestAUC := candidates[0], -1.0
+	for ci, k := range candidates {
+		coda := &CoDA{K: k, Seed: seed}
+		F, H, err := coda.fit(tb)
+		if err != nil {
+			return 0, nil, err
+		}
+		score := func(e edge) float64 {
+			var dot float64
+			for j := 0; j < k; j++ {
+				dot += F[e.u][j] * H[e.v][j]
+			}
+			return 1 - math.Exp(-dot)
+		}
+		// Rank-based AUC over held-out positives vs sampled negatives.
+		type scored struct {
+			s   float64
+			pos bool
+		}
+		all := make([]scored, 0, len(held)+len(negs))
+		for _, e := range held {
+			all = append(all, scored{score(e), true})
+		}
+		for _, e := range negs {
+			all = append(all, scored{score(e), false})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+		var rankSum float64
+		i := 0
+		rank := 1.0
+		for i < len(all) {
+			j := i
+			for j+1 < len(all) && all[j+1].s == all[i].s {
+				j++
+			}
+			avg := (rank + rank + float64(j-i)) / 2
+			for t := i; t <= j; t++ {
+				if all[t].pos {
+					rankSum += avg
+				}
+			}
+			rank += float64(j - i + 1)
+			i = j + 1
+		}
+		nPos, nNeg := float64(len(held)), float64(len(negs))
+		auc := (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+		aucs[ci] = auc
+		if auc > bestAUC {
+			bestK, bestAUC = k, auc
+		}
+	}
+	return bestK, aucs, nil
+}

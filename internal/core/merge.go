@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"crowdscope/internal/crawler"
+	"crowdscope/internal/dataflow"
+	"crowdscope/internal/store"
+)
+
+// Company is the merged per-company record the analyses consume: the
+// AngelList profile joined with its CrunchBase funding data and its
+// Facebook/Twitter engagement counts.
+type Company struct {
+	ID          string
+	Name        string
+	Raising     bool
+	HasVideo    bool
+	HasFacebook bool
+	HasTwitter  bool
+
+	// Engagement (zero when the company has no such profile).
+	Likes     int
+	Tweets    int
+	Followers int
+
+	// Funding from CrunchBase: Funded mirrors the paper's "successfully
+	// raised funding".
+	Funded         bool
+	RoundCount     int
+	TotalRaisedUSD int64
+}
+
+// Investor is the merged per-investor record for the Section 5 analyses.
+type Investor struct {
+	ID          string
+	Investments []string
+	Follows     int
+}
+
+// partitionsFor picks a partition count proportional to data size.
+func partitionsFor(n int) int {
+	p := n / 4096
+	if p < 4 {
+		p = 4
+	}
+	if p > 64 {
+		p = 64
+	}
+	return p
+}
+
+// LatestSnapshot returns the largest snapshot tag in the startups
+// namespace, or an error when nothing was crawled.
+func LatestSnapshot(st *store.Store) (int, error) {
+	latest := -1
+	err := store.ScanAs(st, crawler.NSStartups, func(r crawler.StartupRecord) error {
+		if r.Snapshot > latest {
+			latest = r.Snapshot
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if latest < 0 {
+		return 0, fmt.Errorf("core: no startup snapshots in store")
+	}
+	return latest, nil
+}
+
+// LoadCompanies merges the given snapshot's startups with their
+// CrunchBase, Facebook and Twitter augmentations using dataflow joins
+// (the paper's Spark merge). Pass snapshot -1 to use the latest.
+func LoadCompanies(st *store.Store, snapshot int) ([]Company, error) {
+	if snapshot < 0 {
+		var err error
+		snapshot, err = LatestSnapshot(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	startups, err := readSnapshot[crawler.StartupRecord](st, crawler.NSStartups, snapshot, func(r crawler.StartupRecord) int { return r.Snapshot })
+	if err != nil {
+		return nil, err
+	}
+	// Augmentation namespaces may be absent when the crawl skipped them.
+	cbs, err := readSnapshotOptional[crawler.AugmentRecord[cbProfile]](st, crawler.NSCrunchBase, snapshot, func(r crawler.AugmentRecord[cbProfile]) int { return r.Snapshot })
+	if err != nil {
+		return nil, err
+	}
+	fbs, err := readSnapshotOptional[crawler.AugmentRecord[fbProfile]](st, crawler.NSFacebook, snapshot, func(r crawler.AugmentRecord[fbProfile]) int { return r.Snapshot })
+	if err != nil {
+		return nil, err
+	}
+	tws, err := readSnapshotOptional[crawler.AugmentRecord[twProfile]](st, crawler.NSTwitter, snapshot, func(r crawler.AugmentRecord[twProfile]) int { return r.Snapshot })
+	if err != nil {
+		return nil, err
+	}
+
+	parts := partitionsFor(len(startups))
+	base := dataflow.KeyBy(dataflow.FromSlice(startups, parts), func(r crawler.StartupRecord) string { return r.ID })
+	cbKeyed := dataflow.KeyBy(dataflow.FromSlice(cbs, parts), func(r crawler.AugmentRecord[cbProfile]) string { return r.StartupID })
+	fbKeyed := dataflow.KeyBy(dataflow.FromSlice(fbs, parts), func(r crawler.AugmentRecord[fbProfile]) string { return r.StartupID })
+	twKeyed := dataflow.KeyBy(dataflow.FromSlice(tws, parts), func(r crawler.AugmentRecord[twProfile]) string { return r.StartupID })
+
+	withCB := dataflow.LeftOuterJoin(base, cbKeyed)
+	merged := dataflow.Map(withCB, func(kv dataflow.Pair[string, dataflow.JoinPair[crawler.StartupRecord, dataflow.OuterMatch[crawler.AugmentRecord[cbProfile]]]]) Company {
+		s := kv.Value.Left
+		c := Company{
+			ID:          s.ID,
+			Name:        s.Name,
+			Raising:     s.Raising,
+			HasVideo:    s.HasDemoVideo,
+			HasFacebook: s.FacebookURL != "",
+			HasTwitter:  s.TwitterURL != "",
+		}
+		if kv.Value.Right.Matched {
+			p := kv.Value.Right.Right.Profile
+			c.RoundCount = len(p.Rounds)
+			c.Funded = len(p.Rounds) > 0
+			for _, r := range p.Rounds {
+				c.TotalRaisedUSD += r.AmountUSD
+			}
+		}
+		return c
+	})
+	mergedKeyed := dataflow.KeyBy(merged, func(c Company) string { return c.ID })
+	withFB := dataflow.Map(
+		dataflow.LeftOuterJoin(mergedKeyed, fbKeyed),
+		func(kv dataflow.Pair[string, dataflow.JoinPair[Company, dataflow.OuterMatch[crawler.AugmentRecord[fbProfile]]]]) Company {
+			c := kv.Value.Left
+			if kv.Value.Right.Matched {
+				c.Likes = kv.Value.Right.Right.Profile.Likes
+			}
+			return c
+		})
+	withFBKeyed := dataflow.KeyBy(withFB, func(c Company) string { return c.ID })
+	final := dataflow.Map(
+		dataflow.LeftOuterJoin(withFBKeyed, twKeyed),
+		func(kv dataflow.Pair[string, dataflow.JoinPair[Company, dataflow.OuterMatch[crawler.AugmentRecord[twProfile]]]]) Company {
+			c := kv.Value.Left
+			if kv.Value.Right.Matched {
+				c.Tweets = kv.Value.Right.Right.Profile.StatusesCount
+				c.Followers = kv.Value.Right.Right.Profile.FollowersCount
+			}
+			return c
+		})
+	return dataflow.SortBy(final, func(a, b Company) bool { return a.ID < b.ID })
+}
+
+// LoadInvestors returns the snapshot's users that identify as having made
+// at least one investment (the paper's bipartite graph omits investors
+// with none). Pass snapshot -1 for the latest.
+func LoadInvestors(st *store.Store, snapshot int) ([]Investor, error) {
+	if snapshot < 0 {
+		var err error
+		snapshot, err = LatestSnapshot(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	users, err := readSnapshot[crawler.UserRecord](st, crawler.NSUsers, snapshot, func(r crawler.UserRecord) int { return r.Snapshot })
+	if err != nil {
+		return nil, err
+	}
+	ds := dataflow.FromSlice(users, partitionsFor(len(users)))
+	investing := dataflow.Filter(ds, func(r crawler.UserRecord) bool { return len(r.Investments) > 0 })
+	mapped := dataflow.Map(investing, func(r crawler.UserRecord) Investor {
+		return Investor{ID: r.ID, Investments: r.Investments, Follows: len(r.FollowsStartups)}
+	})
+	return dataflow.SortBy(mapped, func(a, b Investor) bool { return a.ID < b.ID })
+}
+
+// cbProfile, fbProfile, twProfile alias the ecosystem profile schemas via
+// their JSON forms; defined locally to keep the loader independent of the
+// generator's package (the crawler persists plain JSON).
+type cbProfile struct {
+	URL    string `json:"url"`
+	Name   string `json:"name"`
+	Rounds []struct {
+		AmountUSD    int64 `json:"amount_usd"`
+		NumInvestors int   `json:"num_investors"`
+	} `json:"rounds"`
+}
+
+type fbProfile struct {
+	Likes int `json:"likes"`
+}
+
+type twProfile struct {
+	StatusesCount  int `json:"statuses_count"`
+	FollowersCount int `json:"followers_count"`
+}
+
+func readSnapshot[T any](st *store.Store, ns string, snapshot int, tag func(T) int) ([]T, error) {
+	var out []T
+	err := store.ScanAs(st, ns, func(r T) error {
+		if tag(r) == snapshot {
+			out = append(out, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readSnapshotOptional tolerates a missing namespace (no augmentation
+// collected), returning an empty slice.
+func readSnapshotOptional[T any](st *store.Store, ns string, snapshot int, tag func(T) int) ([]T, error) {
+	for _, known := range st.Namespaces() {
+		if known == ns {
+			return readSnapshot(st, ns, snapshot, tag)
+		}
+	}
+	return nil, nil
+}

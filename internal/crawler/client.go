@@ -1,0 +1,312 @@
+// Package crawler implements the paper's data-collection pipeline: a
+// high-throughput parallel crawler that discovers the AngelList graph by
+// breadth-first search from the currently-raising listing, then augments
+// every discovered startup with CrunchBase, Facebook and Twitter data.
+//
+// The crawler only learns about the world through the HTTP APIs — it
+// never touches generator state — and it copes with the same operational
+// obstacles the paper describes: per-token Twitter rate windows (defeated
+// by rotating tokens, as the paper distributes its crawl across machines
+// with different tokens), transient server errors (exponential backoff
+// with jitter), and paginated listings.
+package crawler
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdscope/internal/apiserver"
+	"crowdscope/internal/ecosystem"
+)
+
+// ErrNotFound marks 404 responses; callers treat these as absent data,
+// not failures.
+var ErrNotFound = errors.New("crawler: not found")
+
+// Client is a rate-limit-aware, retrying HTTP client for the simulated
+// services. It is safe for concurrent use.
+type Client struct {
+	// BaseURL of the API server, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Tokens to rotate across. At least one is required.
+	Tokens []string
+	// HTTP client; defaults to http.DefaultClient.
+	HTTP *http.Client
+	// MaxRetries bounds retry attempts for transient failures (5xx,
+	// network errors). Default 5.
+	MaxRetries int
+	// BaseBackoff is the initial retry delay, doubled per attempt with
+	// jitter. Default 10ms.
+	BaseBackoff time.Duration
+	// Sleep is called to wait between retries and when every token is
+	// rate limited; tests inject a fake. Defaults to time.Sleep.
+	Sleep func(time.Duration)
+
+	tokenCursor atomic.Uint64
+
+	statsMu sync.Mutex
+	stats   ClientStats
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+}
+
+// ClientStats counts the client's HTTP activity.
+type ClientStats struct {
+	Requests      int64 // HTTP requests issued
+	Retries       int64 // retried transient failures
+	RateLimitHits int64 // 429 responses observed
+	TokenSleeps   int64 // waits because every token was exhausted
+}
+
+// NewClient builds a client with defaults filled in.
+func NewClient(baseURL string, tokens []string) (*Client, error) {
+	if len(tokens) == 0 {
+		return nil, errors.New("crawler: at least one access token required")
+	}
+	return &Client{
+		BaseURL:     baseURL,
+		Tokens:      tokens,
+		HTTP:        http.DefaultClient,
+		MaxRetries:  5,
+		BaseBackoff: 10 * time.Millisecond,
+		Sleep:       time.Sleep,
+		jitter:      rand.New(rand.NewSource(1)),
+	}, nil
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+func (c *Client) bump(f func(*ClientStats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
+}
+
+// nextToken rotates through the token list.
+func (c *Client) nextToken() string {
+	i := c.tokenCursor.Add(1)
+	return c.Tokens[int(i)%len(c.Tokens)]
+}
+
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.BaseBackoff << attempt
+	c.jitterMu.Lock()
+	j := time.Duration(c.jitter.Int63n(int64(d)/2 + 1))
+	c.jitterMu.Unlock()
+	return d + j
+}
+
+// getJSON fetches path (with query) into out, handling auth, retries and
+// token rotation. A 429 rotates to the next token immediately; when all
+// tokens are exhausted it sleeps for the smallest Retry-After observed.
+func (c *Client) getJSON(path string, query url.Values, out any) error {
+	attempt := 0
+	rotations := 0
+	for {
+		token := c.nextToken()
+		u := c.BaseURL + path
+		if len(query) > 0 {
+			u += "?" + query.Encode()
+		}
+		req, err := http.NewRequest(http.MethodGet, u, nil)
+		if err != nil {
+			return fmt.Errorf("crawler: build request: %w", err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		c.bump(func(s *ClientStats) { s.Requests++ })
+		httpc := c.HTTP
+		if httpc == nil {
+			httpc = http.DefaultClient
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			if attempt >= c.MaxRetries {
+				return fmt.Errorf("crawler: %s: %w", path, err)
+			}
+			c.bump(func(s *ClientStats) { s.Retries++ })
+			c.Sleep(c.backoff(attempt))
+			attempt++
+			continue
+		}
+		body, readErr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if readErr != nil {
+				return fmt.Errorf("crawler: read %s: %w", path, readErr)
+			}
+			if err := json.Unmarshal(body, out); err != nil {
+				return fmt.Errorf("crawler: decode %s: %w", path, err)
+			}
+			return nil
+		case resp.StatusCode == http.StatusNotFound:
+			return fmt.Errorf("%w: %s", ErrNotFound, path)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			c.bump(func(s *ClientStats) { s.RateLimitHits++ })
+			rotations++
+			if rotations < len(c.Tokens) {
+				continue // try the next token right away
+			}
+			// Every token exhausted: wait out the window.
+			retry := 2 * time.Second
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					retry = time.Duration(secs) * time.Second
+				}
+			}
+			c.bump(func(s *ClientStats) { s.TokenSleeps++ })
+			c.Sleep(retry)
+			rotations = 0
+			continue
+		case resp.StatusCode >= 500:
+			if attempt >= c.MaxRetries {
+				return fmt.Errorf("crawler: %s: server error %d after %d retries", path, resp.StatusCode, attempt)
+			}
+			c.bump(func(s *ClientStats) { s.Retries++ })
+			c.Sleep(c.backoff(attempt))
+			attempt++
+			continue
+		default:
+			return fmt.Errorf("crawler: %s: unexpected status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// RaisingStartups pages through the currently-raising listing, the seed
+// set of the BFS.
+func (c *Client) RaisingStartups() ([]string, error) {
+	var all []string
+	page := 1
+	for {
+		var resp apiserver.RaisingResponse
+		q := url.Values{"page": {strconv.Itoa(page)}}
+		if err := c.getJSON("/angellist/startups/raising", q, &resp); err != nil {
+			return nil, err
+		}
+		all = append(all, resp.Startups...)
+		if page >= resp.LastPage {
+			return all, nil
+		}
+		page++
+	}
+}
+
+// Startup fetches one AngelList startup profile.
+func (c *Client) Startup(id string) (*ecosystem.Startup, error) {
+	var s ecosystem.Startup
+	if err := c.getJSON("/angellist/startups/"+id, nil, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Followers pages through the users following a startup.
+func (c *Client) Followers(id string) ([]string, error) {
+	var all []string
+	page := 1
+	for {
+		var resp apiserver.FollowersResponse
+		q := url.Values{"page": {strconv.Itoa(page)}}
+		if err := c.getJSON("/angellist/startups/"+id+"/followers", q, &resp); err != nil {
+			return nil, err
+		}
+		all = append(all, resp.Followers...)
+		if page >= resp.LastPage {
+			return all, nil
+		}
+		page++
+	}
+}
+
+// User fetches one AngelList user profile.
+func (c *Client) User(id string) (*ecosystem.User, error) {
+	var u ecosystem.User
+	if err := c.getJSON("/angellist/users/"+id, nil, &u); err != nil {
+		return nil, err
+	}
+	return &u, nil
+}
+
+// CBOrganization fetches a CrunchBase profile by its URL.
+func (c *Client) CBOrganization(cbURL string) (*ecosystem.CrunchBaseProfile, error) {
+	var p ecosystem.CrunchBaseProfile
+	if err := c.getJSON("/crunchbase/organization", url.Values{"url": {cbURL}}, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// CBSearch searches CrunchBase by company name.
+func (c *Client) CBSearch(name string) ([]*ecosystem.CrunchBaseProfile, error) {
+	var resp apiserver.CBSearchResponse
+	if err := c.getJSON("/crunchbase/search", url.Values{"name": {name}}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// FacebookPage fetches a Facebook page profile by URL via the Graph API.
+func (c *Client) FacebookPage(fbURL string) (*ecosystem.FacebookProfile, error) {
+	var p ecosystem.FacebookProfile
+	if err := c.getJSON("/facebook/graph", url.Values{"url": {fbURL}}, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ExchangeFacebookToken swaps a short-lived token plus app credentials
+// for a long-lived access token (the Graph API dance the paper performs
+// before crawling Facebook) and appends it to the client's rotation.
+func (c *Client) ExchangeFacebookToken(appID, appSecret, shortToken string) (string, error) {
+	q := url.Values{
+		"grant_type":        {"fb_exchange_token"},
+		"app_id":            {appID},
+		"app_secret":        {appSecret},
+		"fb_exchange_token": {shortToken},
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Get(c.BaseURL + "/facebook/oauth/access_token?" + q.Encode())
+	if err != nil {
+		return "", fmt.Errorf("crawler: token exchange: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("crawler: token exchange failed with status %d", resp.StatusCode)
+	}
+	var tok apiserver.FBTokenResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tok); err != nil {
+		return "", fmt.Errorf("crawler: decode token exchange: %w", err)
+	}
+	if tok.AccessToken == "" {
+		return "", errors.New("crawler: empty long-lived token")
+	}
+	c.Tokens = append(c.Tokens, tok.AccessToken)
+	return tok.AccessToken, nil
+}
+
+// TwitterUser fetches a Twitter profile by screen name.
+func (c *Client) TwitterUser(screenName string) (*ecosystem.TwitterProfile, error) {
+	var p ecosystem.TwitterProfile
+	if err := c.getJSON("/twitter/users/show", url.Values{"screen_name": {screenName}}, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

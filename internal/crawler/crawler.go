@@ -1,0 +1,325 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+
+	"crowdscope/internal/ecosystem"
+)
+
+// Snapshot holds everything one crawl collected, keyed exactly like the
+// paper's datasets: AngelList startups and users, plus per-source
+// augmentation profiles.
+type Snapshot struct {
+	Startups   map[string]*ecosystem.Startup
+	Users      map[string]*ecosystem.User
+	CrunchBase map[string]*ecosystem.CrunchBaseProfile // by startup ID
+	Facebook   map[string]*ecosystem.FacebookProfile   // by startup ID
+	Twitter    map[string]*ecosystem.TwitterProfile    // by startup ID
+	Stats      Stats
+}
+
+// Stats summarizes one crawl.
+type Stats struct {
+	Rounds           int // BFS levels until the frontier emptied
+	SeedStartups     int // size of the raising listing
+	StartupsCrawled  int
+	UsersCrawled     int
+	CBByLink         int // CrunchBase found via profile URL
+	CBBySearch       int // CrunchBase found via unique name search
+	CBAmbiguous      int // skipped: name search was not unique
+	CBMissing        int // no CrunchBase data at all
+	FacebookProfiles int
+	TwitterProfiles  int
+	Client           ClientStats
+}
+
+// Crawler runs the two-phase collection: BFS over AngelList, then
+// augmentation from CrunchBase, Facebook and Twitter.
+type Crawler struct {
+	Client *Client
+	// Workers bounds parallel fetches per phase. Default 8.
+	Workers int
+	// MaxRounds caps BFS depth (0 = unlimited), for partial crawls.
+	MaxRounds int
+	// SkipAugmentation collects only the AngelList graph.
+	SkipAugmentation bool
+}
+
+// Run executes a full crawl. It is deterministic in the served world up to
+// map iteration order of the result (callers sort).
+func (cr *Crawler) Run(ctx context.Context) (*Snapshot, error) {
+	if cr.Client == nil {
+		return nil, errors.New("crawler: nil client")
+	}
+	workers := cr.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	snap := &Snapshot{
+		Startups:   map[string]*ecosystem.Startup{},
+		Users:      map[string]*ecosystem.User{},
+		CrunchBase: map[string]*ecosystem.CrunchBaseProfile{},
+		Facebook:   map[string]*ecosystem.FacebookProfile{},
+		Twitter:    map[string]*ecosystem.TwitterProfile{},
+	}
+
+	// Phase 1: BFS over the AngelList graph.
+	seeds, err := cr.Client.RaisingStartups()
+	if err != nil {
+		return nil, err
+	}
+	snap.Stats.SeedStartups = len(seeds)
+
+	var mu sync.Mutex // guards snap maps and the next-frontier sets
+	startupFrontier := dedupe(seeds)
+	var userFrontier []string
+
+	for len(startupFrontier) > 0 || len(userFrontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		snap.Stats.Rounds++
+		if cr.MaxRounds > 0 && snap.Stats.Rounds > cr.MaxRounds {
+			break
+		}
+		var nextStartups, nextUsers []string
+
+		// Fetch every startup in the frontier plus its follower list; the
+		// followers become user-frontier candidates.
+		err := parallel(ctx, workers, startupFrontier, func(id string) error {
+			mu.Lock()
+			_, seen := snap.Startups[id]
+			mu.Unlock()
+			if seen {
+				return nil
+			}
+			st, err := cr.Client.Startup(id)
+			if err != nil {
+				if errors.Is(err, ErrNotFound) {
+					return nil
+				}
+				return err
+			}
+			followers, err := cr.Client.Followers(id)
+			if err != nil && !errors.Is(err, ErrNotFound) {
+				return err
+			}
+			mu.Lock()
+			snap.Startups[id] = st
+			for _, uid := range followers {
+				if _, ok := snap.Users[uid]; !ok {
+					nextUsers = append(nextUsers, uid)
+				}
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Fetch every user in the frontier; what they follow becomes the
+		// next frontier on both sides.
+		err = parallel(ctx, workers, userFrontier, func(id string) error {
+			mu.Lock()
+			_, seen := snap.Users[id]
+			mu.Unlock()
+			if seen {
+				return nil
+			}
+			u, err := cr.Client.User(id)
+			if err != nil {
+				if errors.Is(err, ErrNotFound) {
+					return nil
+				}
+				return err
+			}
+			mu.Lock()
+			snap.Users[id] = u
+			for _, sid := range u.FollowsStartups {
+				if _, ok := snap.Startups[sid]; !ok {
+					nextStartups = append(nextStartups, sid)
+				}
+			}
+			for _, sid := range u.Investments {
+				if _, ok := snap.Startups[sid]; !ok {
+					nextStartups = append(nextStartups, sid)
+				}
+			}
+			for _, uid := range u.FollowsUsers {
+				if _, ok := snap.Users[uid]; !ok {
+					nextUsers = append(nextUsers, uid)
+				}
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		startupFrontier = dedupe(nextStartups)
+		userFrontier = dedupe(nextUsers)
+	}
+	snap.Stats.StartupsCrawled = len(snap.Startups)
+	snap.Stats.UsersCrawled = len(snap.Users)
+
+	if !cr.SkipAugmentation {
+		if err := cr.augment(ctx, workers, snap, &mu); err != nil {
+			return nil, err
+		}
+	}
+	snap.Stats.Client = cr.Client.Stats()
+	return snap, nil
+}
+
+// augment performs the one-time CrunchBase/Facebook/Twitter augmentation
+// the paper describes in Section 3.
+func (cr *Crawler) augment(ctx context.Context, workers int, snap *Snapshot, mu *sync.Mutex) error {
+	ids := make([]string, 0, len(snap.Startups))
+	for id := range snap.Startups {
+		ids = append(ids, id)
+	}
+	return parallel(ctx, workers, ids, func(id string) error {
+		st := snap.Startups[id]
+
+		// CrunchBase: prefer the profile link; otherwise search by name
+		// and accept only a unique match.
+		var cb *ecosystem.CrunchBaseProfile
+		viaLink := false
+		if st.CrunchBaseURL != "" {
+			p, err := cr.Client.CBOrganization(st.CrunchBaseURL)
+			if err != nil && !errors.Is(err, ErrNotFound) {
+				return err
+			}
+			cb = p
+			viaLink = cb != nil
+		}
+		ambiguous := false
+		if cb == nil {
+			results, err := cr.Client.CBSearch(st.Name)
+			if err != nil && !errors.Is(err, ErrNotFound) {
+				return err
+			}
+			switch len(results) {
+			case 1:
+				cb = results[0]
+			case 0:
+			default:
+				ambiguous = true
+			}
+		}
+
+		var fb *ecosystem.FacebookProfile
+		if st.FacebookURL != "" {
+			p, err := cr.Client.FacebookPage(st.FacebookURL)
+			if err != nil && !errors.Is(err, ErrNotFound) {
+				return err
+			}
+			fb = p
+		}
+
+		var tw *ecosystem.TwitterProfile
+		if st.TwitterURL != "" {
+			// Extract the username from the URL: the string after the
+			// last "/" (exactly the paper's method).
+			username := st.TwitterURL[strings.LastIndex(st.TwitterURL, "/")+1:]
+			p, err := cr.Client.TwitterUser(username)
+			if err != nil && !errors.Is(err, ErrNotFound) {
+				return err
+			}
+			tw = p
+		}
+
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case cb != nil && viaLink:
+			snap.CrunchBase[id] = cb
+			snap.Stats.CBByLink++
+		case cb != nil:
+			snap.CrunchBase[id] = cb
+			snap.Stats.CBBySearch++
+		case ambiguous:
+			snap.Stats.CBAmbiguous++
+		default:
+			snap.Stats.CBMissing++
+		}
+		if fb != nil {
+			snap.Facebook[id] = fb
+			snap.Stats.FacebookProfiles++
+		}
+		if tw != nil {
+			snap.Twitter[id] = tw
+			snap.Stats.TwitterProfiles++
+		}
+		return nil
+	})
+}
+
+// parallel runs f over items with bounded workers, stopping at the first
+// error or context cancellation.
+func parallel(ctx context.Context, workers int, items []string, f func(string) error) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if err != nil || next >= len(items) {
+					mu.Unlock()
+					return
+				}
+				item := items[next]
+				next++
+				mu.Unlock()
+				if ctx.Err() != nil {
+					mu.Lock()
+					if err == nil {
+						err = ctx.Err()
+					}
+					mu.Unlock()
+					return
+				}
+				if e := f(item); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}
+
+func dedupe(ids []string) []string {
+	seen := make(map[string]struct{}, len(ids))
+	out := ids[:0:0]
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}

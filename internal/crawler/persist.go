@@ -1,0 +1,90 @@
+package crawler
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdscope/internal/ecosystem"
+	"crowdscope/internal/store"
+)
+
+// Store namespaces, one per crawled source, mirroring the paper's
+// HDFS layout of JSON files per data source.
+const (
+	NSStartups   = "angellist/startups"
+	NSUsers      = "angellist/users"
+	NSCrunchBase = "crunchbase/profiles"
+	NSFacebook   = "facebook/profiles"
+	NSTwitter    = "twitter/profiles"
+)
+
+// StartupRecord is the persisted form of a crawled startup.
+type StartupRecord struct {
+	ecosystem.Startup
+	// Snapshot tags the crawl round for longitudinal studies.
+	Snapshot int `json:"snapshot"`
+}
+
+// UserRecord is the persisted form of a crawled user.
+type UserRecord struct {
+	ecosystem.User
+	Snapshot int `json:"snapshot"`
+}
+
+// AugmentRecord attaches a source profile to its startup.
+type AugmentRecord[T any] struct {
+	StartupID string `json:"startup_id"`
+	Profile   T      `json:"profile"`
+	Snapshot  int    `json:"snapshot"`
+}
+
+// Persist writes the snapshot into the store under the standard
+// namespaces, tagging every record with the snapshot number. Records are
+// written in sorted ID order so persisted output is deterministic.
+func Persist(s *store.Store, snap *Snapshot, snapshotNum int) error {
+	if err := persistMap(s, NSStartups, snap.Startups, func(id string, v *ecosystem.Startup) any {
+		return StartupRecord{Startup: *v, Snapshot: snapshotNum}
+	}); err != nil {
+		return err
+	}
+	if err := persistMap(s, NSUsers, snap.Users, func(id string, v *ecosystem.User) any {
+		return UserRecord{User: *v, Snapshot: snapshotNum}
+	}); err != nil {
+		return err
+	}
+	if err := persistMap(s, NSCrunchBase, snap.CrunchBase, func(id string, v *ecosystem.CrunchBaseProfile) any {
+		return AugmentRecord[ecosystem.CrunchBaseProfile]{StartupID: id, Profile: *v, Snapshot: snapshotNum}
+	}); err != nil {
+		return err
+	}
+	if err := persistMap(s, NSFacebook, snap.Facebook, func(id string, v *ecosystem.FacebookProfile) any {
+		return AugmentRecord[ecosystem.FacebookProfile]{StartupID: id, Profile: *v, Snapshot: snapshotNum}
+	}); err != nil {
+		return err
+	}
+	return persistMap(s, NSTwitter, snap.Twitter, func(id string, v *ecosystem.TwitterProfile) any {
+		return AugmentRecord[ecosystem.TwitterProfile]{StartupID: id, Profile: *v, Snapshot: snapshotNum}
+	})
+}
+
+func persistMap[T any](s *store.Store, ns string, m map[string]*T, wrap func(string, *T) any) error {
+	if len(m) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	w, err := s.Writer(ns)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := w.Append(wrap(id, m[id])); err != nil {
+			w.Close()
+			return fmt.Errorf("crawler: persist %s: %w", ns, err)
+		}
+	}
+	return w.Close()
+}

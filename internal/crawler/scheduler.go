@@ -1,0 +1,50 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+
+	"crowdscope/internal/store"
+)
+
+// Scheduler drives the longitudinal collection the paper plans in Section
+// 7: a daily task that re-crawls the currently-fundraising startups and
+// appends time-tagged snapshots to the store.
+//
+// In simulation, "a day passes" means the caller advances the world
+// (ecosystem.Evolve) and refreshes the API server between OnDay calls; the
+// scheduler itself is time-free so tests and examples control the clock.
+type Scheduler struct {
+	Crawler *Crawler
+	Store   *store.Store
+	// SeedsOnly restricts the daily crawl to the raising listing and its
+	// one-hop neighborhood (MaxRounds=2), which is what a daily
+	// incremental pass does; full BFS remains available for rebuilds.
+	SeedsOnly bool
+
+	snapshots int
+}
+
+// Snapshots returns how many snapshots have been collected.
+func (sc *Scheduler) Snapshots() int { return sc.snapshots }
+
+// RunOnce performs one scheduled crawl and persists it with the next
+// snapshot number. It returns the snapshot.
+func (sc *Scheduler) RunOnce(ctx context.Context) (*Snapshot, error) {
+	if sc.Crawler == nil || sc.Store == nil {
+		return nil, fmt.Errorf("crawler: scheduler needs a crawler and a store")
+	}
+	cr := *sc.Crawler
+	if sc.SeedsOnly {
+		cr.MaxRounds = 2
+	}
+	snap, err := cr.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := Persist(sc.Store, snap, sc.snapshots); err != nil {
+		return nil, err
+	}
+	sc.snapshots++
+	return snap, nil
+}

@@ -1,0 +1,419 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Dataset is a lazy, partitioned collection of T. Construct with FromSlice
+// or FromFunc, transform with the package functions, and execute with an
+// action (Collect, Count, ...).
+type Dataset[T any] struct {
+	numPartitions int
+	compute       func(ex *Executor) ([][]T, error)
+
+	// cache support
+	mu     sync.Mutex
+	cached bool
+	data   [][]T
+	err    error
+}
+
+// Executor bounds the parallelism of dataset actions. The zero value is
+// not usable; obtain one from NewExecutor or use the package default.
+type Executor struct {
+	workers int
+}
+
+// NewExecutor returns an executor running at most workers partition tasks
+// concurrently; workers <= 0 selects GOMAXPROCS.
+func NewExecutor(workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{workers: workers}
+}
+
+// Workers returns the executor's concurrency bound.
+func (ex *Executor) Workers() int { return ex.workers }
+
+var defaultExecutor = NewExecutor(0)
+
+// eachPartition runs f over the indices [0, n) with bounded parallelism,
+// collecting the first error.
+func (ex *Executor) eachPartition(n int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := ex.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if err != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if e := f(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}
+
+// materialize runs the DAG below this dataset, honoring Cache.
+func (d *Dataset[T]) materialize(ex *Executor) ([][]T, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cached {
+		if d.data != nil || d.err != nil {
+			return d.data, d.err
+		}
+		d.data, d.err = d.compute(ex)
+		return d.data, d.err
+	}
+	return d.compute(ex)
+}
+
+// Cache marks the dataset so its first materialization is retained and
+// reused by later actions, like Spark's persist(). Returns the receiver.
+func (d *Dataset[T]) Cache() *Dataset[T] {
+	d.mu.Lock()
+	d.cached = true
+	d.mu.Unlock()
+	return d
+}
+
+// NumPartitions returns the dataset's planned partition count.
+func (d *Dataset[T]) NumPartitions() int { return d.numPartitions }
+
+// FromSlice creates a dataset of the given elements split into partitions
+// chunks (<=0 selects GOMAXPROCS). The slice is not copied; callers must
+// not mutate it afterwards.
+func FromSlice[T any](xs []T, partitions int) *Dataset[T] {
+	if partitions <= 0 {
+		partitions = runtime.GOMAXPROCS(0)
+	}
+	if partitions > len(xs) && len(xs) > 0 {
+		partitions = len(xs)
+	}
+	if len(xs) == 0 {
+		partitions = 1
+	}
+	return &Dataset[T]{
+		numPartitions: partitions,
+		compute: func(*Executor) ([][]T, error) {
+			parts := make([][]T, partitions)
+			chunk := (len(xs) + partitions - 1) / partitions
+			for i := 0; i < partitions; i++ {
+				lo := i * chunk
+				hi := lo + chunk
+				if lo > len(xs) {
+					lo = len(xs)
+				}
+				if hi > len(xs) {
+					hi = len(xs)
+				}
+				parts[i] = xs[lo:hi]
+			}
+			return parts, nil
+		},
+	}
+}
+
+// FromFunc creates a dataset whose partitions are produced on demand by
+// gen(partition), enabling sources that stream from external systems (the
+// store, the crawler) without staging through one big slice.
+func FromFunc[T any](partitions int, gen func(partition int) ([]T, error)) *Dataset[T] {
+	if partitions <= 0 {
+		partitions = 1
+	}
+	return &Dataset[T]{
+		numPartitions: partitions,
+		compute: func(ex *Executor) ([][]T, error) {
+			parts := make([][]T, partitions)
+			err := ex.eachPartition(partitions, func(i int) error {
+				p, err := gen(i)
+				if err != nil {
+					return err
+				}
+				parts[i] = p
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return parts, nil
+		},
+	}
+}
+
+// Map applies f to every element.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return &Dataset[U]{
+		numPartitions: d.numPartitions,
+		compute: func(ex *Executor) ([][]U, error) {
+			in, err := d.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]U, len(in))
+			err = ex.eachPartition(len(in), func(i int) error {
+				p := make([]U, len(in[i]))
+				for j, v := range in[i] {
+					p[j] = f(v)
+				}
+				out[i] = p
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// MapErr applies a fallible f to every element; the first error aborts the
+// action.
+func MapErr[T, U any](d *Dataset[T], f func(T) (U, error)) *Dataset[U] {
+	return &Dataset[U]{
+		numPartitions: d.numPartitions,
+		compute: func(ex *Executor) ([][]U, error) {
+			in, err := d.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]U, len(in))
+			err = ex.eachPartition(len(in), func(i int) error {
+				p := make([]U, len(in[i]))
+				for j, v := range in[i] {
+					u, err := f(v)
+					if err != nil {
+						return err
+					}
+					p[j] = u
+				}
+				out[i] = p
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// Filter keeps the elements for which pred is true.
+func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
+	return &Dataset[T]{
+		numPartitions: d.numPartitions,
+		compute: func(ex *Executor) ([][]T, error) {
+			in, err := d.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]T, len(in))
+			err = ex.eachPartition(len(in), func(i int) error {
+				var p []T
+				for _, v := range in[i] {
+					if pred(v) {
+						p = append(p, v)
+					}
+				}
+				out[i] = p
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	return &Dataset[U]{
+		numPartitions: d.numPartitions,
+		compute: func(ex *Executor) ([][]U, error) {
+			in, err := d.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]U, len(in))
+			err = ex.eachPartition(len(in), func(i int) error {
+				var p []U
+				for _, v := range in[i] {
+					p = append(p, f(v)...)
+				}
+				out[i] = p
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// Union concatenates two datasets of the same type.
+func Union[T any](a, b *Dataset[T]) *Dataset[T] {
+	return &Dataset[T]{
+		numPartitions: a.numPartitions + b.numPartitions,
+		compute: func(ex *Executor) ([][]T, error) {
+			pa, err := a.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			pb, err := b.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]T, 0, len(pa)+len(pb))
+			out = append(out, pa...)
+			out = append(out, pb...)
+			return out, nil
+		},
+	}
+}
+
+// ---- Actions ----
+
+// Collect materializes the dataset into one slice, in partition order.
+func (d *Dataset[T]) Collect() ([]T, error) { return d.CollectWith(defaultExecutor) }
+
+// CollectWith is Collect under a specific executor.
+func (d *Dataset[T]) CollectWith(ex *Executor) ([]T, error) {
+	parts, err := d.materialize(ex)
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Count returns the number of elements.
+func (d *Dataset[T]) Count() (int, error) { return d.CountWith(defaultExecutor) }
+
+// CountWith is Count under a specific executor.
+func (d *Dataset[T]) CountWith(ex *Executor) (int, error) {
+	parts, err := d.materialize(ex)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	return n, nil
+}
+
+// ErrEmptyDataset is returned by Reduce on an empty dataset.
+var ErrEmptyDataset = errors.New("dataflow: reduce of empty dataset")
+
+// Reduce folds all elements with an associative, commutative f.
+func Reduce[T any](d *Dataset[T], f func(T, T) T) (T, error) {
+	return ReduceWith(defaultExecutor, d, f)
+}
+
+// ReduceWith is Reduce under a specific executor.
+func ReduceWith[T any](ex *Executor, d *Dataset[T], f func(T, T) T) (T, error) {
+	var zero T
+	parts, err := d.materialize(ex)
+	if err != nil {
+		return zero, err
+	}
+	type acc struct {
+		v  T
+		ok bool
+	}
+	accs := make([]acc, len(parts))
+	err = ex.eachPartition(len(parts), func(i int) error {
+		for _, v := range parts[i] {
+			if !accs[i].ok {
+				accs[i] = acc{v: v, ok: true}
+			} else {
+				accs[i].v = f(accs[i].v, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	var total acc
+	for _, a := range accs {
+		if !a.ok {
+			continue
+		}
+		if !total.ok {
+			total = a
+		} else {
+			total.v = f(total.v, a.v)
+		}
+	}
+	if !total.ok {
+		return zero, ErrEmptyDataset
+	}
+	return total.v, nil
+}
+
+// SortBy collects the dataset and sorts it with less; a convenience action
+// for producing deterministic outputs (Spark's sortBy is likewise an
+// action-triggering wide op).
+func SortBy[T any](d *Dataset[T], less func(a, b T) bool) ([]T, error) {
+	xs, err := d.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+	return xs, nil
+}
+
+// First returns the first element in partition order.
+func (d *Dataset[T]) First() (T, error) {
+	var zero T
+	xs, err := d.Collect()
+	if err != nil {
+		return zero, err
+	}
+	if len(xs) == 0 {
+		return zero, fmt.Errorf("dataflow: First on empty dataset")
+	}
+	return xs[0], nil
+}

@@ -1,0 +1,256 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func ints(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+func TestFromSliceCollect(t *testing.T) {
+	for _, parts := range []int{1, 2, 3, 7, 100} {
+		d := FromSlice(ints(10), parts)
+		got, err := d.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("parts=%d len=%d", parts, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("parts=%d order broken at %d: %v", parts, i, got)
+			}
+		}
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	d := FromSlice([]int(nil), 4)
+	n, err := d.Count()
+	if err != nil || n != 0 {
+		t.Fatalf("count=%d err=%v", n, err)
+	}
+	if _, err := Reduce(d, func(a, b int) int { return a + b }); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("want ErrEmptyDataset, got %v", err)
+	}
+	if _, err := d.First(); err == nil {
+		t.Fatal("First on empty should error")
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	d := FromSlice(ints(100), 4)
+	sq := Map(d, func(x int) int { return x * x })
+	even := Filter(sq, func(x int) bool { return x%2 == 0 })
+	dup := FlatMap(even, func(x int) []int { return []int{x, x} })
+	got, err := dup.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even squares of 0..99: squares of even numbers => 50 values, doubled.
+	if len(got) != 100 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 0; i < len(got); i += 2 {
+		if got[i] != got[i+1] {
+			t.Fatalf("duplication broken at %d", i)
+		}
+		if got[i]%2 != 0 {
+			t.Fatalf("odd value survived filter: %d", got[i])
+		}
+	}
+}
+
+func TestMapErrPropagates(t *testing.T) {
+	d := FromSlice(ints(100), 4)
+	sentinel := errors.New("boom")
+	m := MapErr(d, func(x int) (int, error) {
+		if x == 42 {
+			return 0, sentinel
+		}
+		return x, nil
+	})
+	if _, err := m.Collect(); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestFromFuncParallelAndErrors(t *testing.T) {
+	d := FromFunc(8, func(p int) ([]int, error) { return []int{p}, nil })
+	got, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("partitions = %v", got)
+		}
+	}
+	sentinel := errors.New("gen fail")
+	bad := FromFunc(4, func(p int) ([]int, error) {
+		if p == 2 {
+			return nil, sentinel
+		}
+		return nil, nil
+	})
+	if _, err := bad.Collect(); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	d := FromSlice(ints(1000), 7)
+	sum, err := Reduce(d, func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 999*1000/2 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := FromSlice([]int{1, 2}, 1)
+	b := FromSlice([]int{3, 4, 5}, 2)
+	got, err := Union(a, b).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("union = %v", got)
+	}
+}
+
+func TestCacheComputesOnce(t *testing.T) {
+	var calls int64
+	d := FromFunc(4, func(p int) ([]int, error) {
+		atomic.AddInt64(&calls, 1)
+		return []int{p}, nil
+	})
+	cached := Map(d, func(x int) int { return x * 10 }).Cache()
+	if _, err := cached.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	first := atomic.LoadInt64(&calls)
+	if _, err := cached.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&calls) != first {
+		t.Fatalf("cache recomputed source: %d -> %d", first, calls)
+	}
+	// Uncached datasets recompute.
+	uncached := Map(d, func(x int) int { return x })
+	_, _ = uncached.Collect()
+	if atomic.LoadInt64(&calls) == first {
+		t.Fatal("uncached dataset did not recompute")
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	d := FromSlice([]int{5, 3, 9, 1}, 2)
+	got, err := SortBy(d, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v", got)
+		}
+	}
+}
+
+func TestNewExecutorDefaults(t *testing.T) {
+	if NewExecutor(0).Workers() <= 0 {
+		t.Fatal("default workers should be positive")
+	}
+	if NewExecutor(3).Workers() != 3 {
+		t.Fatal("explicit workers not honored")
+	}
+}
+
+// Property: Collect after Map(identity) preserves multiset and order for
+// any partitioning.
+func TestMapIdentityProperty(t *testing.T) {
+	f := func(xs []int16, parts uint8) bool {
+		in := make([]int, len(xs))
+		for i, v := range xs {
+			in[i] = int(v)
+		}
+		d := FromSlice(in, int(parts%16)+1)
+		got, err := Map(d, func(x int) int { return x }).Collect()
+		if err != nil || len(got) != len(in) {
+			return false
+		}
+		for i := range in {
+			if got[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count is invariant under repartitioning via FlatMap identity.
+func TestCountInvariantProperty(t *testing.T) {
+	f := func(n uint16, parts uint8) bool {
+		d := FromSlice(ints(int(n%2000)), int(parts%8)+1)
+		c, err := d.Count()
+		return err == nil && c == int(n%2000)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeParallelPipeline(t *testing.T) {
+	n := 100000
+	d := FromSlice(ints(n), 16)
+	total, err := Reduce(Map(d, func(x int) int { return 1 }), func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestFromSliceMorePartitionsThanElements(t *testing.T) {
+	d := FromSlice([]int{1, 2}, 64)
+	got, err := d.Collect()
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestDatasetReusableAcrossActions(t *testing.T) {
+	d := FromSlice(ints(50), 4)
+	for i := 0; i < 3; i++ {
+		n, err := d.Count()
+		if err != nil || n != 50 {
+			t.Fatalf("iteration %d: n=%d err=%v", i, n, err)
+		}
+	}
+}
+
+func ExampleMap() {
+	d := FromSlice([]int{1, 2, 3}, 1)
+	doubled, _ := Map(d, func(x int) int { return x * 2 }).Collect()
+	fmt.Println(doubled)
+	// Output: [2 4 6]
+}

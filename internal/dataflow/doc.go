@@ -1,0 +1,15 @@
+// Package dataflow is crowdscope's substitute for Apache Spark: a lazy,
+// partitioned, parallel dataset engine used by the analyses for cleaning,
+// merging and aggregating the crawled JSON.
+//
+// A Dataset[T] is a node in a deferred computation DAG. Narrow
+// transformations (Map, Filter, FlatMap) run partition-parallel without
+// data movement; wide transformations (ReduceByKey, GroupByKey, Join,
+// Distinct) hash-partition their inputs first, mirroring Spark's shuffle.
+// Nothing executes until an action (Collect, Count, Reduce, ...) is called,
+// at which point stages run over a bounded goroutine pool.
+//
+// Because Go methods cannot introduce type parameters, transformations that
+// change the element type are package-level functions: use
+// dataflow.Map(ds, f) rather than ds.Map(f).
+package dataflow

@@ -1,0 +1,339 @@
+package dataflow
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Pair is a keyed element, the unit of the wide (shuffle) operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// KV constructs a Pair.
+func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{Key: k, Value: v} }
+
+// KeyBy converts a dataset into a keyed dataset using key extraction.
+func KeyBy[K comparable, T any](d *Dataset[T], key func(T) K) *Dataset[Pair[K, T]] {
+	return Map(d, func(v T) Pair[K, T] { return Pair[K, T]{Key: key(v), Value: v} })
+}
+
+// hashKey produces a stable hash for any comparable key. Common key kinds
+// are hashed directly; everything else goes through fmt formatting, which
+// is slower but always consistent within a run.
+func hashKey[K comparable](k K) uint64 {
+	switch v := any(k).(type) {
+	case string:
+		h := fnv.New64a()
+		h.Write([]byte(v))
+		return h.Sum64()
+	case int:
+		return mix(uint64(v))
+	case int32:
+		return mix(uint64(v))
+	case int64:
+		return mix(uint64(v))
+	case uint64:
+		return mix(v)
+	case bool:
+		if v {
+			return mix(1)
+		}
+		return mix(0)
+	default:
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%v", v)
+		return h.Sum64()
+	}
+}
+
+// mix is a 64-bit finalizer (splitmix64) spreading small integer keys.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// shuffle hash-partitions keyed records into numPartitions buckets. The
+// map phase builds per-input-partition buckets in parallel, then buckets
+// are concatenated per output partition.
+func shuffle[K comparable, V any](ex *Executor, in [][]Pair[K, V], numPartitions int) ([][]Pair[K, V], error) {
+	if numPartitions <= 0 {
+		numPartitions = len(in)
+	}
+	if numPartitions == 0 {
+		numPartitions = 1
+	}
+	// local[i][p] holds input partition i's records destined for output p.
+	local := make([][][]Pair[K, V], len(in))
+	err := ex.eachPartition(len(in), func(i int) error {
+		buckets := make([][]Pair[K, V], numPartitions)
+		for _, kv := range in[i] {
+			p := int(hashKey(kv.Key) % uint64(numPartitions))
+			buckets[p] = append(buckets[p], kv)
+		}
+		local[i] = buckets
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Pair[K, V], numPartitions)
+	err = ex.eachPartition(numPartitions, func(p int) error {
+		var n int
+		for i := range local {
+			n += len(local[i][p])
+		}
+		merged := make([]Pair[K, V], 0, n)
+		for i := range local {
+			merged = append(merged, local[i][p]...)
+		}
+		out[p] = merged
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReduceByKey merges all values sharing a key with an associative,
+// commutative f, shuffling so each key is owned by exactly one partition.
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], f func(V, V) V) *Dataset[Pair[K, V]] {
+	return &Dataset[Pair[K, V]]{
+		numPartitions: d.numPartitions,
+		compute: func(ex *Executor) ([][]Pair[K, V], error) {
+			in, err := d.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			// Map-side combine before the shuffle, like Spark.
+			combined := make([][]Pair[K, V], len(in))
+			err = ex.eachPartition(len(in), func(i int) error {
+				m := make(map[K]V, len(in[i]))
+				for _, kv := range in[i] {
+					if cur, ok := m[kv.Key]; ok {
+						m[kv.Key] = f(cur, kv.Value)
+					} else {
+						m[kv.Key] = kv.Value
+					}
+				}
+				p := make([]Pair[K, V], 0, len(m))
+				for k, v := range m {
+					p = append(p, Pair[K, V]{Key: k, Value: v})
+				}
+				combined[i] = p
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			shuffled, err := shuffle(ex, combined, d.numPartitions)
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]Pair[K, V], len(shuffled))
+			err = ex.eachPartition(len(shuffled), func(p int) error {
+				m := make(map[K]V)
+				for _, kv := range shuffled[p] {
+					if cur, ok := m[kv.Key]; ok {
+						m[kv.Key] = f(cur, kv.Value)
+					} else {
+						m[kv.Key] = kv.Value
+					}
+				}
+				res := make([]Pair[K, V], 0, len(m))
+				for k, v := range m {
+					res = append(res, Pair[K, V]{Key: k, Value: v})
+				}
+				out[p] = res
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// GroupByKey gathers all values per key.
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []V]] {
+	return &Dataset[Pair[K, []V]]{
+		numPartitions: d.numPartitions,
+		compute: func(ex *Executor) ([][]Pair[K, []V], error) {
+			in, err := d.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			shuffled, err := shuffle(ex, in, d.numPartitions)
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]Pair[K, []V], len(shuffled))
+			err = ex.eachPartition(len(shuffled), func(p int) error {
+				m := make(map[K][]V)
+				for _, kv := range shuffled[p] {
+					m[kv.Key] = append(m[kv.Key], kv.Value)
+				}
+				res := make([]Pair[K, []V], 0, len(m))
+				for k, vs := range m {
+					res = append(res, Pair[K, []V]{Key: k, Value: vs})
+				}
+				out[p] = res
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// CountByKey returns the number of records per key.
+func CountByKey[K comparable, V any](d *Dataset[Pair[K, V]]) (map[K]int, error) {
+	ones := Map(d, func(kv Pair[K, V]) Pair[K, int] { return Pair[K, int]{Key: kv.Key, Value: 1} })
+	reduced, err := ReduceByKey(ones, func(a, b int) int { return a + b }).Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]int, len(reduced))
+	for _, kv := range reduced {
+		out[kv.Key] = kv.Value
+	}
+	return out, nil
+}
+
+// JoinPair is one inner-join match.
+type JoinPair[A, B any] struct {
+	Left  A
+	Right B
+}
+
+// Join inner-joins two keyed datasets, producing every (left, right) match
+// per key.
+func Join[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[Pair[K, B]]) *Dataset[Pair[K, JoinPair[A, B]]] {
+	parts := left.numPartitions
+	if right.numPartitions > parts {
+		parts = right.numPartitions
+	}
+	return &Dataset[Pair[K, JoinPair[A, B]]]{
+		numPartitions: parts,
+		compute: func(ex *Executor) ([][]Pair[K, JoinPair[A, B]], error) {
+			lin, err := left.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			rin, err := right.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			ls, err := shuffle(ex, lin, parts)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := shuffle(ex, rin, parts)
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]Pair[K, JoinPair[A, B]], parts)
+			err = ex.eachPartition(parts, func(p int) error {
+				lm := make(map[K][]A)
+				for _, kv := range ls[p] {
+					lm[kv.Key] = append(lm[kv.Key], kv.Value)
+				}
+				var res []Pair[K, JoinPair[A, B]]
+				for _, kv := range rs[p] {
+					for _, a := range lm[kv.Key] {
+						res = append(res, Pair[K, JoinPair[A, B]]{
+							Key:   kv.Key,
+							Value: JoinPair[A, B]{Left: a, Right: kv.Value},
+						})
+					}
+				}
+				out[p] = res
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// LeftOuterJoin joins keeping every left record; unmatched lefts get
+// Right's zero value and Matched=false.
+type OuterMatch[B any] struct {
+	Right   B
+	Matched bool
+}
+
+// LeftOuterJoin performs a left outer join of two keyed datasets.
+func LeftOuterJoin[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[Pair[K, B]]) *Dataset[Pair[K, JoinPair[A, OuterMatch[B]]]] {
+	parts := left.numPartitions
+	if right.numPartitions > parts {
+		parts = right.numPartitions
+	}
+	return &Dataset[Pair[K, JoinPair[A, OuterMatch[B]]]]{
+		numPartitions: parts,
+		compute: func(ex *Executor) ([][]Pair[K, JoinPair[A, OuterMatch[B]]], error) {
+			lin, err := left.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			rin, err := right.materialize(ex)
+			if err != nil {
+				return nil, err
+			}
+			ls, err := shuffle(ex, lin, parts)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := shuffle(ex, rin, parts)
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]Pair[K, JoinPair[A, OuterMatch[B]]], parts)
+			err = ex.eachPartition(parts, func(p int) error {
+				rm := make(map[K][]B)
+				for _, kv := range rs[p] {
+					rm[kv.Key] = append(rm[kv.Key], kv.Value)
+				}
+				var res []Pair[K, JoinPair[A, OuterMatch[B]]]
+				for _, kv := range ls[p] {
+					matches := rm[kv.Key]
+					if len(matches) == 0 {
+						res = append(res, Pair[K, JoinPair[A, OuterMatch[B]]]{
+							Key:   kv.Key,
+							Value: JoinPair[A, OuterMatch[B]]{Left: kv.Value},
+						})
+						continue
+					}
+					for _, b := range matches {
+						res = append(res, Pair[K, JoinPair[A, OuterMatch[B]]]{
+							Key:   kv.Key,
+							Value: JoinPair[A, OuterMatch[B]]{Left: kv.Value, Right: OuterMatch[B]{Right: b, Matched: true}},
+						})
+					}
+				}
+				out[p] = res
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// Distinct removes duplicate elements (T must be comparable).
+func Distinct[T comparable](d *Dataset[T]) *Dataset[T] {
+	keyed := Map(d, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: v} })
+	reduced := ReduceByKey(keyed, func(a, _ struct{}) struct{} { return a })
+	return Map(reduced, func(kv Pair[T, struct{}]) T { return kv.Key })
+}

@@ -1,0 +1,229 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceByKey(t *testing.T) {
+	var pairs []Pair[string, int]
+	for i := 0; i < 1000; i++ {
+		pairs = append(pairs, KV(fmt.Sprint("k", i%10), 1))
+	}
+	d := FromSlice(pairs, 8)
+	got, err := ReduceByKey(d, func(a, b int) int { return a + b }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("keys = %d", len(got))
+	}
+	for _, kv := range got {
+		if kv.Value != 100 {
+			t.Fatalf("key %s count %d", kv.Key, kv.Value)
+		}
+	}
+}
+
+func TestReduceByKeySingleKey(t *testing.T) {
+	var pairs []Pair[int, int]
+	for i := 1; i <= 100; i++ {
+		pairs = append(pairs, KV(7, i))
+	}
+	got, err := ReduceByKey(FromSlice(pairs, 4), func(a, b int) int { return a + b }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != 7 || got[0].Value != 5050 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	pairs := []Pair[string, int]{
+		KV("a", 1), KV("b", 2), KV("a", 3), KV("b", 4), KV("c", 5),
+	}
+	got, err := GroupByKey(FromSlice(pairs, 3)).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string][]int{}
+	for _, kv := range got {
+		vs := append([]int(nil), kv.Value...)
+		sort.Ints(vs)
+		m[kv.Key] = vs
+	}
+	if len(m) != 3 {
+		t.Fatalf("groups = %v", m)
+	}
+	if fmt.Sprint(m["a"]) != "[1 3]" || fmt.Sprint(m["b"]) != "[2 4]" || fmt.Sprint(m["c"]) != "[5]" {
+		t.Fatalf("groups = %v", m)
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	pairs := []Pair[string, string]{
+		KV("x", "p"), KV("x", "q"), KV("y", "r"),
+	}
+	got, err := CountByKey(FromSlice(pairs, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["x"] != 2 || got["y"] != 1 {
+		t.Fatalf("counts = %v", got)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	left := FromSlice([]Pair[int, string]{
+		KV(1, "a1"), KV(2, "a2"), KV(2, "a2b"), KV(3, "a3"),
+	}, 2)
+	right := FromSlice([]Pair[int, string]{
+		KV(2, "b2"), KV(3, "b3"), KV(3, "b3b"), KV(4, "b4"),
+	}, 3)
+	got, err := Join(left, right).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches: key2: 2 lefts x 1 right = 2; key3: 1 left x 2 rights = 2.
+	if len(got) != 4 {
+		t.Fatalf("join size = %d: %v", len(got), got)
+	}
+	for _, kv := range got {
+		if kv.Key == 1 || kv.Key == 4 {
+			t.Fatalf("unmatched key joined: %v", kv)
+		}
+	}
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	left := FromSlice([]Pair[int, string]{KV(1, "a1"), KV(2, "a2")}, 1)
+	right := FromSlice([]Pair[int, string]{KV(2, "b2")}, 1)
+	got, err := LeftOuterJoin(left, right).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("outer join size = %d", len(got))
+	}
+	for _, kv := range got {
+		switch kv.Key {
+		case 1:
+			if kv.Value.Right.Matched {
+				t.Fatal("key 1 should be unmatched")
+			}
+		case 2:
+			if !kv.Value.Right.Matched || kv.Value.Right.Right != "b2" {
+				t.Fatalf("key 2 match wrong: %+v", kv.Value)
+			}
+		default:
+			t.Fatalf("unexpected key %d", kv.Key)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	d := FromSlice([]int{1, 2, 2, 3, 3, 3, 1}, 3)
+	got, err := Distinct(d).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("distinct = %v", got)
+	}
+}
+
+func TestKeyBy(t *testing.T) {
+	type user struct{ Name, Role string }
+	users := []user{{"u1", "investor"}, {"u2", "founder"}, {"u3", "investor"}}
+	counts, err := CountByKey(KeyBy(FromSlice(users, 2), func(u user) string { return u.Role }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["investor"] != 2 || counts["founder"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// Property: ReduceByKey(+) totals match a sequential map regardless of
+// partitioning.
+func TestReduceByKeyMatchesSequentialProperty(t *testing.T) {
+	f := func(keys []uint8, parts uint8) bool {
+		pairs := make([]Pair[int, int], len(keys))
+		want := map[int]int{}
+		for i, k := range keys {
+			pairs[i] = KV(int(k%16), i)
+			want[int(k%16)] += i
+		}
+		got, err := ReduceByKey(FromSlice(pairs, int(parts%8)+1), func(a, b int) int { return a + b }).Collect()
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, kv := range got {
+			if want[kv.Key] != kv.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Distinct result has no duplicates and covers the input set.
+func TestDistinctProperty(t *testing.T) {
+	f := func(xs []uint8, parts uint8) bool {
+		in := make([]int, len(xs))
+		want := map[int]bool{}
+		for i, v := range xs {
+			in[i] = int(v)
+			want[int(v)] = true
+		}
+		got, err := Distinct(FromSlice(in, int(parts%8)+1)).Collect()
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if seen[v] || !want[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashKeyKinds(t *testing.T) {
+	// Distinct values should (overwhelmingly) hash differently; identical
+	// values must hash identically.
+	if hashKey("a") != hashKey("a") || hashKey(1) != hashKey(1) {
+		t.Fatal("hash not deterministic")
+	}
+	if hashKey("a") == hashKey("b") {
+		t.Fatal("string hash collision on trivial input")
+	}
+	if hashKey(int32(5)) != hashKey(int32(5)) {
+		t.Fatal("int32 hash not deterministic")
+	}
+	if hashKey(true) == hashKey(false) {
+		t.Fatal("bool hash collision")
+	}
+	type custom struct{ A, B int }
+	if hashKey(custom{1, 2}) != hashKey(custom{1, 2}) {
+		t.Fatal("struct hash not deterministic")
+	}
+	if hashKey(custom{1, 2}) == hashKey(custom{2, 1}) {
+		t.Fatal("struct hash ignores fields")
+	}
+}

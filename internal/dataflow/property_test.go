@@ -1,0 +1,147 @@
+package dataflow
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Join matches a nested-loop reference join on random keyed
+// data, for any partitioning.
+func TestJoinMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64, nl, nr uint8, parts uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(n int) []Pair[int, int] {
+			out := make([]Pair[int, int], n)
+			for i := range out {
+				out[i] = KV(rng.Intn(8), rng.Intn(100))
+			}
+			return out
+		}
+		left := mk(int(nl) % 60)
+		right := mk(int(nr) % 60)
+
+		// Reference: nested loops.
+		type match struct{ k, l, r int }
+		var want []match
+		for _, a := range left {
+			for _, b := range right {
+				if a.Key == b.Key {
+					want = append(want, match{a.Key, a.Value, b.Value})
+				}
+			}
+		}
+
+		got, err := Join(
+			FromSlice(left, int(parts)%6+1),
+			FromSlice(right, int(parts)%4+1),
+		).Collect()
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		norm := func(ms []match) {
+			sort.Slice(ms, func(i, j int) bool {
+				if ms[i].k != ms[j].k {
+					return ms[i].k < ms[j].k
+				}
+				if ms[i].l != ms[j].l {
+					return ms[i].l < ms[j].l
+				}
+				return ms[i].r < ms[j].r
+			})
+		}
+		var gotM []match
+		for _, kv := range got {
+			gotM = append(gotM, match{kv.Key, kv.Value.Left, kv.Value.Right})
+		}
+		norm(want)
+		norm(gotM)
+		for i := range want {
+			if want[i] != gotM[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LeftOuterJoin preserves every left record exactly once per
+// right match (or once unmatched).
+func TestLeftOuterJoinCardinalityProperty(t *testing.T) {
+	f := func(seed int64, nl, nr uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		left := make([]Pair[int, int], int(nl)%50)
+		for i := range left {
+			left[i] = KV(rng.Intn(6), i)
+		}
+		right := make([]Pair[int, string], int(nr)%50)
+		rightCount := map[int]int{}
+		for i := range right {
+			k := rng.Intn(6)
+			right[i] = KV(k, "r")
+			rightCount[k]++
+		}
+		got, err := LeftOuterJoin(FromSlice(left, 3), FromSlice(right, 2)).Collect()
+		if err != nil {
+			return false
+		}
+		// Expected cardinality: sum over left of max(1, matches(key)).
+		want := 0
+		for _, l := range left {
+			m := rightCount[l.Key]
+			if m == 0 {
+				m = 1
+			}
+			want += m
+		}
+		if len(got) != want {
+			return false
+		}
+		for _, kv := range got {
+			if kv.Value.Right.Matched != (rightCount[kv.Key] > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GroupByKey partitions the input exactly: group sizes sum to
+// input size and every value lands under its own key.
+func TestGroupByKeyPartitionProperty(t *testing.T) {
+	f := func(keys []uint8, parts uint8) bool {
+		pairs := make([]Pair[int, int], len(keys))
+		for i, k := range keys {
+			pairs[i] = KV(int(k)%10, i)
+		}
+		got, err := GroupByKey(FromSlice(pairs, int(parts)%8+1)).Collect()
+		if err != nil {
+			return false
+		}
+		total := 0
+		seenKey := map[int]bool{}
+		for _, kv := range got {
+			if seenKey[kv.Key] {
+				return false // key appears twice
+			}
+			seenKey[kv.Key] = true
+			total += len(kv.Value)
+			for _, v := range kv.Value {
+				if pairs[v].Key != kv.Key {
+					return false
+				}
+			}
+		}
+		return total == len(pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

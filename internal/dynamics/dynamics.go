@@ -1,0 +1,160 @@
+// Package dynamics tracks community structure across longitudinal
+// snapshots — the paper's Section 7 plan "to understand the dynamics in
+// terms of formation or disbanding of community clusters over time".
+//
+// Communities from consecutive snapshots are matched by Jaccard overlap
+// of their member sets; matched pairs are classified as continued, grown
+// or shrunk, and unmatched communities as formed or dissolved. Many-to-one
+// matches surface merges and splits.
+package dynamics
+
+import "sort"
+
+// Event classifies what happened to a community between snapshots.
+type Event string
+
+// Community lifecycle events.
+const (
+	EventContinued Event = "continued" // matched, size within tolerance
+	EventGrown     Event = "grown"
+	EventShrunk    Event = "shrunk"
+	EventFormed    Event = "formed"    // no counterpart in the previous snapshot
+	EventDissolved Event = "dissolved" // no counterpart in the current snapshot
+)
+
+// Match links a previous-snapshot community to its best current-snapshot
+// counterpart.
+type Match struct {
+	Prev    int
+	Cur     int
+	Jaccard float64
+	Event   Event
+}
+
+// Transition summarizes how community structure changed between two
+// snapshots.
+type Transition struct {
+	Matches   []Match
+	Formed    []int // current-snapshot community indices with no ancestor
+	Dissolved []int // previous-snapshot community indices with no descendant
+	Merges    int   // current communities absorbing >= 2 previous ones
+	Splits    int   // previous communities feeding >= 2 current ones
+}
+
+// Counts returns the number of each event, for time-series plots.
+func (t *Transition) Counts() map[Event]int {
+	out := map[Event]int{
+		EventFormed:    len(t.Formed),
+		EventDissolved: len(t.Dissolved),
+	}
+	for _, m := range t.Matches {
+		out[m.Event]++
+	}
+	return out
+}
+
+// Track matches the previous snapshot's communities to the current
+// snapshot's by Jaccard similarity of member sets. Pairs below minJaccard
+// are not considered matches. growthTol is the relative size change below
+// which a match counts as continued (e.g. 0.1 = ±10%).
+func Track[T comparable](prev, cur [][]T, minJaccard, growthTol float64) Transition {
+	if minJaccard <= 0 {
+		minJaccard = 0.1
+	}
+	if growthTol <= 0 {
+		growthTol = 0.1
+	}
+	curSets := make([]map[T]bool, len(cur))
+	for i, c := range cur {
+		s := make(map[T]bool, len(c))
+		for _, m := range c {
+			s[m] = true
+		}
+		curSets[i] = s
+	}
+
+	type cand struct {
+		prev, cur int
+		j         float64
+	}
+	var cands []cand
+	for pi, pc := range prev {
+		for ci := range cur {
+			j := jaccard(pc, curSets[ci], len(cur[ci]))
+			if j >= minJaccard {
+				cands = append(cands, cand{pi, ci, j})
+			}
+		}
+	}
+	// Greedy best-first matching (stable: higher Jaccard wins, ties by
+	// indices).
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].j != cands[b].j {
+			return cands[a].j > cands[b].j
+		}
+		if cands[a].prev != cands[b].prev {
+			return cands[a].prev < cands[b].prev
+		}
+		return cands[a].cur < cands[b].cur
+	})
+	prevMatched := make([]bool, len(prev))
+	curMatched := make([]bool, len(cur))
+	prevFanout := make([]int, len(prev)) // candidates above threshold per prev
+	curFanin := make([]int, len(cur))
+	for _, c := range cands {
+		prevFanout[c.prev]++
+		curFanin[c.cur]++
+	}
+
+	var tr Transition
+	for _, c := range cands {
+		if prevMatched[c.prev] || curMatched[c.cur] {
+			continue
+		}
+		prevMatched[c.prev] = true
+		curMatched[c.cur] = true
+		ev := EventContinued
+		ps, cs := float64(len(prev[c.prev])), float64(len(cur[c.cur]))
+		switch {
+		case cs > ps*(1+growthTol):
+			ev = EventGrown
+		case cs < ps*(1-growthTol):
+			ev = EventShrunk
+		}
+		tr.Matches = append(tr.Matches, Match{Prev: c.prev, Cur: c.cur, Jaccard: c.j, Event: ev})
+	}
+	for pi := range prev {
+		if !prevMatched[pi] {
+			tr.Dissolved = append(tr.Dissolved, pi)
+		}
+		if prevFanout[pi] >= 2 {
+			tr.Splits++
+		}
+	}
+	for ci := range cur {
+		if !curMatched[ci] {
+			tr.Formed = append(tr.Formed, ci)
+		}
+		if curFanin[ci] >= 2 {
+			tr.Merges++
+		}
+	}
+	return tr
+}
+
+func jaccard[T comparable](a []T, bset map[T]bool, blen int) float64 {
+	if len(a) == 0 && blen == 0 {
+		return 0
+	}
+	inter := 0
+	for _, v := range a {
+		if bset[v] {
+			inter++
+		}
+	}
+	union := len(a) + blen - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,109 @@
+package dynamics
+
+import "testing"
+
+func TestTrackIdentity(t *testing.T) {
+	comms := [][]string{{"a", "b", "c"}, {"d", "e", "f"}}
+	tr := Track(comms, comms, 0.3, 0.1)
+	if len(tr.Matches) != 2 {
+		t.Fatalf("matches = %d", len(tr.Matches))
+	}
+	for _, m := range tr.Matches {
+		if m.Jaccard != 1 || m.Event != EventContinued {
+			t.Errorf("identity match = %+v", m)
+		}
+	}
+	if len(tr.Formed) != 0 || len(tr.Dissolved) != 0 {
+		t.Errorf("spurious formation/dissolution: %+v", tr)
+	}
+}
+
+func TestTrackFormationAndDissolution(t *testing.T) {
+	prev := [][]string{{"a", "b", "c"}}
+	cur := [][]string{{"x", "y", "z"}}
+	tr := Track(prev, cur, 0.3, 0.1)
+	if len(tr.Matches) != 0 {
+		t.Fatalf("unexpected matches: %+v", tr.Matches)
+	}
+	if len(tr.Formed) != 1 || len(tr.Dissolved) != 1 {
+		t.Fatalf("formed=%v dissolved=%v", tr.Formed, tr.Dissolved)
+	}
+	counts := tr.Counts()
+	if counts[EventFormed] != 1 || counts[EventDissolved] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestTrackGrowthAndShrink(t *testing.T) {
+	prev := [][]string{{"a", "b", "c", "d"}, {"p", "q", "r", "s", "t", "u"}}
+	cur := [][]string{
+		{"a", "b", "c", "d", "e", "f"}, // grown from prev[0]
+		{"p", "q", "r"},                // shrunk from prev[1]
+	}
+	tr := Track(prev, cur, 0.3, 0.1)
+	if len(tr.Matches) != 2 {
+		t.Fatalf("matches = %+v", tr.Matches)
+	}
+	events := map[int]Event{}
+	for _, m := range tr.Matches {
+		events[m.Prev] = m.Event
+	}
+	if events[0] != EventGrown {
+		t.Errorf("prev 0 event = %s", events[0])
+	}
+	if events[1] != EventShrunk {
+		t.Errorf("prev 1 event = %s", events[1])
+	}
+}
+
+func TestTrackMergeAndSplit(t *testing.T) {
+	// Two previous communities merge into one; one previous splits in two.
+	prev := [][]string{
+		{"a", "b", "c"},
+		{"d", "e", "f"},
+		{"p", "q", "r", "s", "t", "u"},
+	}
+	cur := [][]string{
+		{"a", "b", "c", "d", "e", "f"}, // merge of prev 0 and 1
+		{"p", "q", "r"},                // split of prev 2
+		{"s", "t", "u"},
+	}
+	tr := Track(prev, cur, 0.25, 0.1)
+	if tr.Merges != 1 {
+		t.Errorf("merges = %d", tr.Merges)
+	}
+	if tr.Splits != 1 {
+		t.Errorf("splits = %d", tr.Splits)
+	}
+}
+
+func TestTrackBestMatchWins(t *testing.T) {
+	prev := [][]string{{"a", "b", "c", "d"}}
+	cur := [][]string{
+		{"a", "b"},           // J = 2/6
+		{"a", "b", "c", "d"}, // J = 1
+	}
+	tr := Track(prev, cur, 0.2, 0.1)
+	if len(tr.Matches) != 1 || tr.Matches[0].Cur != 1 {
+		t.Fatalf("matches = %+v", tr.Matches)
+	}
+	if len(tr.Formed) != 1 || tr.Formed[0] != 0 {
+		t.Fatalf("formed = %v", tr.Formed)
+	}
+}
+
+func TestTrackInt32Members(t *testing.T) {
+	prev := [][]int32{{1, 2, 3}}
+	cur := [][]int32{{1, 2, 3, 4}}
+	tr := Track(prev, cur, 0.3, 0.5)
+	if len(tr.Matches) != 1 || tr.Matches[0].Event != EventContinued {
+		t.Fatalf("matches = %+v", tr.Matches)
+	}
+}
+
+func TestTrackEmpty(t *testing.T) {
+	tr := Track[string](nil, nil, 0, 0)
+	if len(tr.Matches) != 0 || len(tr.Formed) != 0 || len(tr.Dissolved) != 0 {
+		t.Fatalf("empty track = %+v", tr)
+	}
+}

@@ -1,0 +1,113 @@
+package ecosystem
+
+import "testing"
+
+func smallWorld(t *testing.T, seed int64) *World {
+	t.Helper()
+	w, err := Generate(NewConfig(seed, 0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestEvolveAdvancesDay(t *testing.T) {
+	w := smallWorld(t, 3)
+	for d := 1; d <= 5; d++ {
+		w.Evolve()
+		if w.Day != d {
+			t.Fatalf("day = %d, want %d", w.Day, d)
+		}
+	}
+}
+
+func TestEvolveEngagementGrows(t *testing.T) {
+	w := smallWorld(t, 4)
+	var likesBefore, tweetsBefore int
+	for _, p := range w.Facebook {
+		likesBefore += p.Likes
+	}
+	for _, p := range w.Twitter {
+		tweetsBefore += p.StatusesCount
+	}
+	for d := 0; d < 30; d++ {
+		w.Evolve()
+	}
+	var likesAfter, tweetsAfter int
+	for _, p := range w.Facebook {
+		likesAfter += p.Likes
+	}
+	for _, p := range w.Twitter {
+		tweetsAfter += p.StatusesCount
+	}
+	if likesAfter <= likesBefore {
+		t.Errorf("likes did not grow: %d -> %d", likesBefore, likesAfter)
+	}
+	if tweetsAfter <= tweetsBefore {
+		t.Errorf("tweets did not grow: %d -> %d", tweetsBefore, tweetsAfter)
+	}
+}
+
+func TestEvolveSuccessMonotone(t *testing.T) {
+	w := smallWorld(t, 5)
+	before := w.Summarize().Successful
+	for d := 0; d < 60; d++ {
+		w.Evolve()
+	}
+	after := w.Summarize().Successful
+	if after < before {
+		t.Errorf("successful count fell: %d -> %d", before, after)
+	}
+	// Newly funded companies must have consistent CrunchBase entries.
+	for i, s := range w.Startups {
+		if w.Successful[i] && s.CrunchBaseURL != "" {
+			p := w.CrunchBase[s.CrunchBaseURL]
+			if p == nil {
+				t.Fatalf("funded %s: dangling CrunchBase URL", s.ID)
+			}
+		}
+	}
+}
+
+func TestEvolveAddsInvestments(t *testing.T) {
+	w := smallWorld(t, 6)
+	before := w.Summarize().InvestmentEdges
+	for d := 0; d < 120; d++ {
+		w.Evolve()
+	}
+	after := w.Summarize().InvestmentEdges
+	if after <= before {
+		t.Errorf("investment edges did not grow: %d -> %d", before, after)
+	}
+}
+
+func TestEvolveDeterministic(t *testing.T) {
+	w1 := smallWorld(t, 7)
+	w2 := smallWorld(t, 7)
+	for d := 0; d < 10; d++ {
+		w1.Evolve()
+		w2.Evolve()
+	}
+	if w1.Summarize() != w2.Summarize() {
+		t.Error("evolution not deterministic")
+	}
+}
+
+func TestEvolveKeepsIndexesFresh(t *testing.T) {
+	w := smallWorld(t, 8)
+	for d := 0; d < 30; d++ {
+		w.Evolve()
+	}
+	// Every CB profile must be findable by name after evolution.
+	for _, p := range w.CrunchBase {
+		found := false
+		for _, cand := range w.CrunchBaseByName(p.Name) {
+			if cand == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("profile %s not indexed by name", p.URL)
+		}
+	}
+}

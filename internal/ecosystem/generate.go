@@ -1,0 +1,270 @@
+package ecosystem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"crowdscope/internal/stats"
+)
+
+// baseDate anchors all generated timestamps; evolution steps advance from
+// here.
+var baseDate = time.Date(2016, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Generate builds a complete world from the configuration. Generation is
+// deterministic in Config (including Seed).
+func Generate(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{
+		Cfg:        cfg,
+		Facebook:   map[string]*FacebookProfile{},
+		Twitter:    map[string]*TwitterProfile{},
+		CrunchBase: map[string]*CrunchBaseProfile{},
+	}
+	genStartups(w, rng)
+	genUsers(w, rng)
+	assignFounders(w, rng)
+	engagement := genSocialProfiles(w, rng)
+	assignSuccess(w, rng, engagement)
+	genCrunchBase(w, rng)
+	if err := plantCommunitiesAndInvestments(w, rng); err != nil {
+		return nil, err
+	}
+	genFollows(w, rng)
+	w.reindex()
+	return w, nil
+}
+
+// genStartups creates companies with raising flags, social links and demo
+// videos, following the Figure 6 category masses.
+func genStartups(w *World, rng *rand.Rand) {
+	cfg := w.Cfg
+	n := cfg.NumStartups()
+	w.Startups = make([]*Startup, n)
+
+	// Company names are unique by construction (as real company names
+	// effectively are) except for a small deliberately duplicated
+	// fraction, which makes those CrunchBase name searches ambiguous and
+	// exercises the crawler's unique-match rule.
+	used := make(map[string]struct{}, n)
+	w.dupNames = map[string]bool{}
+	var lastName string
+	fbOnly := cfg.FacebookFrac - cfg.BothFrac
+	twOnly := cfg.TwitterFrac - cfg.BothFrac
+	for i := 0; i < n; i++ {
+		var name string
+		if lastName != "" && rng.Float64() < cfg.DupliNameFrac {
+			name = lastName
+			w.dupNames[normalizeName(name)] = true
+		} else {
+			name = companyName(rng)
+			for {
+				if _, dup := used[normalizeName(name)]; !dup {
+					break
+				}
+				name = companyName(rng) + " " + companyHeads[rng.Intn(len(companyHeads))] + companyTails[rng.Intn(len(companyTails))]
+			}
+		}
+		used[normalizeName(name)] = struct{}{}
+		lastName = name
+		s := &Startup{
+			ID:   fmt.Sprintf("s%d", i+1),
+			Name: name,
+		}
+		// Social category draw.
+		u := rng.Float64()
+		switch {
+		case u < cfg.BothFrac:
+			s.FacebookURL = "https://facebook.com/" + slugify(name) + fmt.Sprint("-", i+1)
+			s.TwitterURL = "https://twitter.com/" + slugify(name) + fmt.Sprint("_", i+1)
+		case u < cfg.BothFrac+fbOnly:
+			s.FacebookURL = "https://facebook.com/" + slugify(name) + fmt.Sprint("-", i+1)
+		case u < cfg.BothFrac+fbOnly+twOnly:
+			s.TwitterURL = "https://twitter.com/" + slugify(name) + fmt.Sprint("_", i+1)
+		}
+		// Demo video, correlated with having a social presence.
+		videoP := cfg.VideoFracNoSocial
+		if s.FacebookURL != "" || s.TwitterURL != "" {
+			videoP = cfg.VideoFracSocial
+		}
+		s.HasDemoVideo = rng.Float64() < videoP
+		w.Startups[i] = s
+	}
+	// Currently-raising listing: a random subset, the crawl's seeds.
+	raising := stats.ReservoirSample(rng, n, w.Cfg.NumRaising())
+	for _, idx := range raising {
+		w.Startups[idx].Raising = true
+	}
+}
+
+// genUsers creates users with the Section 3 role fractions.
+func genUsers(w *World, rng *rand.Rand) {
+	cfg := w.Cfg
+	n := cfg.NumUsers()
+	w.Users = make([]*User, n)
+	for i := 0; i < n; i++ {
+		u := &User{
+			ID:   fmt.Sprintf("u%d", i+1),
+			Name: personName(rng),
+		}
+		r := rng.Float64()
+		switch {
+		case r < cfg.InvestorFrac:
+			u.Role = RoleInvestor
+		case r < cfg.InvestorFrac+cfg.FounderFrac:
+			u.Role = RoleFounder
+		case r < cfg.InvestorFrac+cfg.FounderFrac+cfg.EmployeeFrac:
+			u.Role = RoleEmployee
+		default:
+			u.Role = RoleVisitor
+		}
+		w.Users[i] = u
+	}
+}
+
+// assignFounders links founder users to the startups they founded.
+func assignFounders(w *World, rng *rand.Rand) {
+	for i, u := range w.Users {
+		if u.Role != RoleFounder {
+			continue
+		}
+		founded := 1 + rng.Intn(2)
+		for k := 0; k < founded; k++ {
+			s := w.Startups[rng.Intn(len(w.Startups))]
+			s.FounderIDs = append(s.FounderIDs, u.ID)
+		}
+		_ = i
+	}
+}
+
+// genSocialProfiles creates the Facebook and Twitter profiles behind each
+// startup's links, driven by a per-company engagement latent so likes,
+// tweets and followers are mutually correlated. It returns the latent per
+// startup (positive = above-median engagement).
+func genSocialProfiles(w *World, rng *rand.Rand) []float64 {
+	cfg := w.Cfg
+	latent := make([]float64, len(w.Startups))
+	for i, s := range w.Startups {
+		e := rng.NormFloat64()
+		latent[i] = e
+		// Per-metric jitter keeps the metrics correlated but not identical.
+		metric := func(median int, spread float64) int {
+			z := 0.75*e + 0.66*rng.NormFloat64()
+			return int(math.Round(float64(median) * math.Exp(spread*z)))
+		}
+		if s.FacebookURL != "" {
+			w.Facebook[s.FacebookURL] = &FacebookProfile{
+				URL:         s.FacebookURL,
+				Name:        s.Name,
+				Location:    location(rng),
+				Likes:       metric(cfg.MedianLikes, 1.3),
+				RecentPosts: 1 + rng.Intn(30),
+			}
+		}
+		if s.TwitterURL != "" {
+			username := s.TwitterURL[len("https://twitter.com/"):]
+			created := baseDate.AddDate(-1-rng.Intn(5), rng.Intn(12), 0)
+			w.Twitter[s.TwitterURL] = &TwitterProfile{
+				URL:            s.TwitterURL,
+				Username:       username,
+				CreatedAt:      created,
+				FollowersCount: metric(cfg.MedianFollowers, 1.4),
+				FriendsCount:   metric(cfg.MedianFollowers/2, 1.0),
+				ListedCount:    rng.Intn(50),
+				StatusesCount:  metric(cfg.MedianTweets, 1.5),
+				LatestStatus:   "Shipping something new at " + s.Name,
+				LatestStatusAt: baseDate.AddDate(0, 0, -rng.Intn(60)),
+			}
+		}
+	}
+	return latent
+}
+
+// assignSuccess decides which companies raised funding, reproducing the
+// Figure 6 gradient: the base rate comes from the social category, then is
+// tilted by engagement (above vs below median) and demo video while
+// preserving the category average.
+func assignSuccess(w *World, rng *rand.Rand, latent []float64) {
+	cfg := w.Cfg
+	w.Successful = make([]bool, len(w.Startups))
+	for i, s := range w.Startups {
+		var base float64
+		switch {
+		case s.FacebookURL != "" && s.TwitterURL != "":
+			base = cfg.SuccessBoth
+		case s.FacebookURL != "":
+			base = cfg.SuccessFBOnly
+		case s.TwitterURL != "":
+			base = cfg.SuccessTWOnly
+		default:
+			base = cfg.SuccessNone
+		}
+		p := base
+		if s.FacebookURL != "" || s.TwitterURL != "" {
+			if latent[i] > 0 {
+				p *= cfg.EngagementLift
+			} else {
+				p *= 2 - cfg.EngagementLift
+			}
+		}
+		videoFrac := cfg.VideoFracNoSocial
+		if s.FacebookURL != "" || s.TwitterURL != "" {
+			videoFrac = cfg.VideoFracSocial
+		}
+		if s.HasDemoVideo {
+			p *= cfg.VideoLift
+		} else {
+			// Renormalize so the category average is unchanged.
+			p *= (1 - videoFrac*cfg.VideoLift) / (1 - videoFrac)
+		}
+		if p > 1 {
+			p = 1
+		}
+		w.Successful[i] = rng.Float64() < p
+	}
+}
+
+// genCrunchBase creates CrunchBase profiles: every successful company gets
+// one (with rounds); a small extra fraction of unsuccessful companies have
+// an empty profile. A CBLinkFrac share of profiles are linked from the
+// AngelList side.
+func genCrunchBase(w *World, rng *rand.Rand) {
+	cfg := w.Cfg
+	for i, s := range w.Startups {
+		hasProfile := w.Successful[i] || w.dupNames[normalizeName(s.Name)] ||
+			rng.Float64() < cfg.CBNoRoundsFrac*0.02
+		if !hasProfile {
+			continue
+		}
+		url := "https://www.crunchbase.com/organization/" + slugify(s.Name) + fmt.Sprint("-", i+1)
+		p := &CrunchBaseProfile{
+			URL:    url,
+			Name:   s.Name,
+			ALLink: "https://angel.co/" + s.ID,
+		}
+		if w.Successful[i] {
+			rounds := 1 + rng.Intn(3)
+			date := baseDate.AddDate(-2, rng.Intn(12), rng.Intn(28))
+			series := []string{"Seed", "A", "B"}
+			for r := 0; r < rounds; r++ {
+				amount := int64(stats.LogNormal(rng, 13.5+float64(r), 0.8)) // ≈$0.7M seed, growing
+				p.Rounds = append(p.Rounds, FundingRound{
+					Date:         date,
+					AmountUSD:    amount,
+					NumInvestors: 2 + rng.Intn(18),
+					Series:       series[r],
+				})
+				date = date.AddDate(0, 8+rng.Intn(10), 0)
+			}
+		}
+		w.CrunchBase[url] = p
+		if rng.Float64() < cfg.CBLinkFrac {
+			s.CrunchBaseURL = url
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+// Centrality measures: the paper's Section 7 proposes node degree,
+// connectivity and centrality as predictive features for startup success
+// ("a high measure of centrality would indicate the ability of a firm to
+// bridge investors to potential customers"). This file implements the
+// standard suite over the Directed graph.
+
+// DegreeCentrality returns (in+out degree) / (n-1) per node; 0 for n <= 1.
+func (g *Directed) DegreeCentrality() []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	if n <= 1 {
+		return out
+	}
+	denom := float64(n - 1)
+	for i := 0; i < n; i++ {
+		out[i] = float64(len(g.out[i])+len(g.in[i])) / denom
+	}
+	return out
+}
+
+// ClosenessCentrality returns the harmonic closeness of each node over
+// out-edges: sum over reachable targets of 1/d(u,t), normalized by (n-1).
+// Harmonic closeness handles disconnected graphs gracefully.
+func (g *Directed) ClosenessCentrality() []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	if n <= 1 {
+		return out
+	}
+	denom := float64(n - 1)
+	for s := int32(0); int(s) < n; s++ {
+		dist := g.ShortestPathLengths(s)
+		var sum float64
+		for t, d := range dist {
+			if int32(t) == s || d <= 0 {
+				continue
+			}
+			sum += 1 / float64(d)
+		}
+		out[s] = sum / denom
+	}
+	return out
+}
+
+// PageRank computes PageRank over out-edges with the given damping factor
+// and iteration/tolerance limits. Dangling-node mass is redistributed
+// uniformly. Scores sum to 1.
+func (g *Directed) PageRank(damping float64, maxIter int, tol float64) []float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		var dangling float64
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			if len(g.out[u]) == 0 {
+				dangling += rank[u]
+				continue
+			}
+			share := rank[u] / float64(len(g.out[u]))
+			for _, v := range g.out[u] {
+				next[v] += share
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		var delta float64
+		for i := range next {
+			nv := base + damping*next[i]
+			if d := nv - rank[i]; d >= 0 {
+				delta += d
+			} else {
+				delta -= d
+			}
+			rank[i] = nv
+		}
+		if delta < tol {
+			break
+		}
+	}
+	return rank
+}
+
+// BetweennessCentrality computes exact betweenness via Brandes' algorithm
+// over out-edges (unweighted). O(nm) — intended for the per-community
+// subgraphs, not the full crawl graph.
+func (g *Directed) BetweennessCentrality() []float64 {
+	n := g.NumNodes()
+	bc := make([]float64, n)
+	if n == 0 {
+		return bc
+	}
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	preds := make([][]int32, n)
+	stack := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	for s := int32(0); int(s) < n; s++ {
+		stack = stack[:0]
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			stack = append(stack, u)
+			for _, v := range g.out[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					preds[v] = append(preds[v], u)
+				}
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, p := range preds[w] {
+				delta[p] += sigma[p] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	return bc
+}

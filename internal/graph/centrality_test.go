@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func starGraph() *Directed {
+	// hub -> a,b,c and a,b,c -> hub.
+	g := NewDirected(4)
+	for _, n := range []string{"a", "b", "c"} {
+		g.AddEdge("hub", n)
+		g.AddEdge(n, "hub")
+	}
+	return g
+}
+
+func TestDegreeCentrality(t *testing.T) {
+	g := starGraph()
+	dc := g.DegreeCentrality()
+	hub, _ := g.Index("hub")
+	a, _ := g.Index("a")
+	if math.Abs(dc[hub]-2.0) > 1e-12 { // (3+3)/3
+		t.Errorf("hub centrality = %g, want 2", dc[hub])
+	}
+	if math.Abs(dc[a]-2.0/3) > 1e-12 {
+		t.Errorf("leaf centrality = %g, want 2/3", dc[a])
+	}
+	empty := NewDirected(0)
+	if len(empty.DegreeCentrality()) != 0 {
+		t.Error("empty graph centrality should be empty")
+	}
+	single := NewDirected(1)
+	single.AddNode("x")
+	if c := single.DegreeCentrality(); c[0] != 0 {
+		t.Error("single node centrality should be 0")
+	}
+}
+
+func TestClosenessCentrality(t *testing.T) {
+	g := starGraph()
+	cc := g.ClosenessCentrality()
+	hub, _ := g.Index("hub")
+	a, _ := g.Index("a")
+	// Hub reaches 3 nodes at distance 1: (1+1+1)/3 = 1.
+	if math.Abs(cc[hub]-1) > 1e-12 {
+		t.Errorf("hub closeness = %g, want 1", cc[hub])
+	}
+	// Leaf reaches hub at 1 and the other two leaves at 2: (1+0.5+0.5)/3.
+	if math.Abs(cc[a]-2.0/3) > 1e-12 {
+		t.Errorf("leaf closeness = %g, want 2/3", cc[a])
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	g := starGraph()
+	pr := g.PageRank(0.85, 100, 1e-10)
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("PageRank sums to %g", sum)
+	}
+	hub, _ := g.Index("hub")
+	a, _ := g.Index("a")
+	if pr[hub] <= pr[a] {
+		t.Errorf("hub rank %g should exceed leaf rank %g", pr[hub], pr[a])
+	}
+	if NewDirected(0).PageRank(0.85, 10, 1e-9) != nil {
+		t.Error("empty graph PageRank should be nil")
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	// a -> b, b has no out-edges: dangling mass must be redistributed and
+	// the ranks still sum to 1.
+	g := NewDirected(2)
+	g.AddEdge("a", "b")
+	pr := g.PageRank(0.85, 200, 1e-12)
+	if math.Abs(pr[0]+pr[1]-1) > 1e-9 {
+		t.Errorf("ranks sum to %g", pr[0]+pr[1])
+	}
+	if pr[1] <= pr[0] {
+		t.Errorf("b (%g) should outrank a (%g)", pr[1], pr[0])
+	}
+}
+
+func TestBetweennessCentrality(t *testing.T) {
+	// Path a -> b -> c: b carries the single shortest path a->c.
+	g := NewDirected(3)
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	bc := g.BetweennessCentrality()
+	a, _ := g.Index("a")
+	b, _ := g.Index("b")
+	c, _ := g.Index("c")
+	if bc[a] != 0 || bc[c] != 0 {
+		t.Errorf("endpoints should have 0 betweenness: %v", bc)
+	}
+	if bc[b] != 1 {
+		t.Errorf("middle betweenness = %g, want 1", bc[b])
+	}
+	if got := NewDirected(0).BetweennessCentrality(); len(got) != 0 {
+		t.Error("empty graph betweenness should be empty")
+	}
+}
+
+func TestBetweennessSplitPaths(t *testing.T) {
+	// a -> {b1, b2} -> c: two equal shortest paths, each midpoint gets 0.5.
+	g := NewDirected(4)
+	g.AddEdge("a", "b1")
+	g.AddEdge("a", "b2")
+	g.AddEdge("b1", "c")
+	g.AddEdge("b2", "c")
+	bc := g.BetweennessCentrality()
+	b1, _ := g.Index("b1")
+	b2, _ := g.Index("b2")
+	if math.Abs(bc[b1]-0.5) > 1e-12 || math.Abs(bc[b2]-0.5) > 1e-12 {
+		t.Errorf("split betweenness = %v", bc)
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+import "sort"
+
+// DegreeShare is one row of a degree-concentration table: the fraction of
+// left nodes whose out-degree is at least MinDegree, and the fraction of
+// all edges those nodes account for. Section 5.1 of the paper reports
+// (≥3 → 30% of investors / 75% of edges), (≥4 → 22.2% / 68.3%),
+// (≥5 → 17.0% / 62.0%).
+type DegreeShare struct {
+	MinDegree    int
+	NodeFraction float64
+	EdgeFraction float64
+}
+
+// LeftDegreeShares computes the degree-concentration rows for the given
+// thresholds over the bipartite graph's left side.
+func LeftDegreeShares(b *Bipartite, thresholds []int) []DegreeShare {
+	out := make([]DegreeShare, 0, len(thresholds))
+	totalNodes := b.NumLeft()
+	totalEdges := b.NumEdges()
+	for _, k := range thresholds {
+		var nodes, edges int
+		for u := int32(0); int(u) < totalNodes; u++ {
+			d := b.OutDegree(u)
+			if d >= k {
+				nodes++
+				edges += d
+			}
+		}
+		share := DegreeShare{MinDegree: k}
+		if totalNodes > 0 {
+			share.NodeFraction = float64(nodes) / float64(totalNodes)
+		}
+		if totalEdges > 0 {
+			share.EdgeFraction = float64(edges) / float64(totalEdges)
+		}
+		out = append(out, share)
+	}
+	return out
+}
+
+// LeftOutDegrees returns every left node's out-degree, for CDF estimation
+// (Figure 3 plots this distribution for investors).
+func LeftOutDegrees(b *Bipartite) []int {
+	out := make([]int, b.NumLeft())
+	for u := range out {
+		out[u] = b.OutDegree(int32(u))
+	}
+	return out
+}
+
+// RightInDegrees returns every right node's in-degree (investors per
+// company; the paper reports an average of 2.6).
+func RightInDegrees(b *Bipartite) []int {
+	out := make([]int, b.NumRight())
+	for v := range out {
+		out[v] = b.InDegree(int32(v))
+	}
+	return out
+}
+
+// DegreeHistogram counts how many nodes have each exact degree, returned as
+// sorted (degree, count) pairs.
+func DegreeHistogram(degrees []int) (ds []int, counts []int) {
+	m := make(map[int]int)
+	for _, d := range degrees {
+		m[d]++
+	}
+	ds = make([]int, 0, len(m))
+	for d := range m {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	counts = make([]int, len(ds))
+	for i, d := range ds {
+		counts[i] = m[d]
+	}
+	return ds, counts
+}

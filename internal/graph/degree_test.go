@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLeftDegreeShares(t *testing.T) {
+	b := NewBipartite(4, 6)
+	// Degrees: i1=4, i2=2, i3=1, i4=1; total edges = 8.
+	for _, c := range []string{"c1", "c2", "c3", "c4"} {
+		b.AddEdge("i1", c)
+	}
+	b.AddEdge("i2", "c1")
+	b.AddEdge("i2", "c5")
+	b.AddEdge("i3", "c6")
+	b.AddEdge("i4", "c6")
+	shares := LeftDegreeShares(b, []int{1, 2, 4})
+	if len(shares) != 3 {
+		t.Fatalf("rows = %d", len(shares))
+	}
+	check := func(i int, nodeFrac, edgeFrac float64) {
+		t.Helper()
+		if math.Abs(shares[i].NodeFraction-nodeFrac) > 1e-12 {
+			t.Errorf("row %d node fraction %g, want %g", i, shares[i].NodeFraction, nodeFrac)
+		}
+		if math.Abs(shares[i].EdgeFraction-edgeFrac) > 1e-12 {
+			t.Errorf("row %d edge fraction %g, want %g", i, shares[i].EdgeFraction, edgeFrac)
+		}
+	}
+	check(0, 1.0, 1.0)    // >=1: everyone
+	check(1, 0.5, 6.0/8)  // >=2: i1,i2 holding 6 edges
+	check(2, 0.25, 4.0/8) // >=4: i1 holding 4 edges
+	if shares[0].MinDegree != 1 || shares[2].MinDegree != 4 {
+		t.Error("thresholds not preserved")
+	}
+}
+
+func TestLeftDegreeSharesEmpty(t *testing.T) {
+	b := NewBipartite(0, 0)
+	shares := LeftDegreeShares(b, []int{3})
+	if shares[0].NodeFraction != 0 || shares[0].EdgeFraction != 0 {
+		t.Error("empty graph should yield zero fractions")
+	}
+}
+
+func TestLeftOutDegreesAndRightInDegrees(t *testing.T) {
+	b := paperExampleStrong()
+	out := LeftOutDegrees(b)
+	if len(out) != 3 || out[0] != 3 || out[1] != 2 || out[2] != 2 {
+		t.Errorf("out degrees = %v", out)
+	}
+	in := RightInDegrees(b)
+	// c1: i1,i2 = 2; c2: i1,i2,i3 = 3; c3: i1,i3 = 2.
+	if len(in) != 3 || in[0] != 2 || in[1] != 3 || in[2] != 2 {
+		t.Errorf("in degrees = %v", in)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	ds, counts := DegreeHistogram([]int{1, 1, 2, 5, 5, 5})
+	wantD := []int{1, 2, 5}
+	wantC := []int{2, 1, 3}
+	if len(ds) != 3 {
+		t.Fatalf("ds = %v", ds)
+	}
+	for i := range ds {
+		if ds[i] != wantD[i] || counts[i] != wantC[i] {
+			t.Errorf("histogram row %d = (%d,%d), want (%d,%d)", i, ds[i], counts[i], wantD[i], wantC[i])
+		}
+	}
+}
+
+func TestProjectLeft(t *testing.T) {
+	b := paperExampleStrong()
+	edges := ProjectLeft(b, 1)
+	// (i1,i2)=2, (i1,i3)=2, (i2,i3)=1.
+	if len(edges) != 3 {
+		t.Fatalf("projection edges = %v", edges)
+	}
+	total := 0.0
+	for _, e := range edges {
+		total += e.Weight
+		if e.U >= e.V {
+			t.Errorf("edge not canonical: %v", e)
+		}
+	}
+	if total != 5 {
+		t.Errorf("total weight = %g, want 5", total)
+	}
+	strong := ProjectLeft(b, 2)
+	if len(strong) != 2 {
+		t.Errorf("minShared=2 edges = %v", strong)
+	}
+	// minShared < 1 is clamped to 1.
+	if got := ProjectLeft(b, 0); len(got) != 3 {
+		t.Errorf("minShared=0 edges = %d, want 3", len(got))
+	}
+}
+
+func TestProjectLeftDeterministic(t *testing.T) {
+	b := paperExampleStrong()
+	e1 := ProjectLeft(b, 1)
+	e2 := ProjectLeft(b, 1)
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("projection not deterministic")
+		}
+	}
+}

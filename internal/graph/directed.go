@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Directed is a simple directed graph (no parallel edges, self-loops
+// allowed but tracked) over string-labeled nodes. The zero value is not
+// usable; construct with NewDirected.
+type Directed struct {
+	labels []string
+	index  map[string]int32
+	out    [][]int32
+	in     [][]int32
+	edges  int
+	// dedup guards against parallel edges without requiring sorted
+	// adjacency during construction.
+	seen map[[2]int32]struct{}
+}
+
+// NewDirected returns an empty directed graph with capacity hints.
+func NewDirected(nodeHint int) *Directed {
+	return &Directed{
+		labels: make([]string, 0, nodeHint),
+		index:  make(map[string]int32, nodeHint),
+		out:    make([][]int32, 0, nodeHint),
+		in:     make([][]int32, 0, nodeHint),
+		seen:   make(map[[2]int32]struct{}),
+	}
+}
+
+// AddNode inserts the labeled node if absent and returns its dense index.
+func (g *Directed) AddNode(label string) int32 {
+	if idx, ok := g.index[label]; ok {
+		return idx
+	}
+	idx := int32(len(g.labels))
+	g.labels = append(g.labels, label)
+	g.index[label] = idx
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return idx
+}
+
+// AddEdge inserts a directed edge between the labeled endpoints, creating
+// nodes as needed. Duplicate edges are ignored. It reports whether the edge
+// was newly added.
+func (g *Directed) AddEdge(from, to string) bool {
+	u := g.AddNode(from)
+	v := g.AddNode(to)
+	return g.AddEdgeIdx(u, v)
+}
+
+// AddEdgeIdx inserts an edge by dense index. Indices must be valid.
+func (g *Directed) AddEdgeIdx(u, v int32) bool {
+	key := [2]int32{u, v}
+	if _, dup := g.seen[key]; dup {
+		return false
+	}
+	g.seen[key] = struct{}{}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.edges++
+	return true
+}
+
+// HasEdge reports whether the edge (from, to) exists.
+func (g *Directed) HasEdge(from, to string) bool {
+	u, ok := g.index[from]
+	if !ok {
+		return false
+	}
+	v, ok := g.index[to]
+	if !ok {
+		return false
+	}
+	_, ok = g.seen[[2]int32{u, v}]
+	return ok
+}
+
+// NumNodes returns the node count.
+func (g *Directed) NumNodes() int { return len(g.labels) }
+
+// NumEdges returns the edge count.
+func (g *Directed) NumEdges() int { return g.edges }
+
+// Label returns the label of node idx.
+func (g *Directed) Label(idx int32) string { return g.labels[idx] }
+
+// Index returns the dense index for a label, if present.
+func (g *Directed) Index(label string) (int32, bool) {
+	idx, ok := g.index[label]
+	return idx, ok
+}
+
+// Out returns the out-neighbors of node idx. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Directed) Out(idx int32) []int32 { return g.out[idx] }
+
+// In returns the in-neighbors of node idx. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Directed) In(idx int32) []int32 { return g.in[idx] }
+
+// OutDegree returns the out-degree of node idx.
+func (g *Directed) OutDegree(idx int32) int { return len(g.out[idx]) }
+
+// InDegree returns the in-degree of node idx.
+func (g *Directed) InDegree(idx int32) int { return len(g.in[idx]) }
+
+// Labels returns a copy of all node labels in index order.
+func (g *Directed) Labels() []string {
+	out := make([]string, len(g.labels))
+	copy(out, g.labels)
+	return out
+}
+
+// SortAdjacency sorts every adjacency list in place; useful for
+// deterministic iteration after parallel construction.
+func (g *Directed) SortAdjacency() {
+	for i := range g.out {
+		sort.Slice(g.out[i], func(a, b int) bool { return g.out[i][a] < g.out[i][b] })
+		sort.Slice(g.in[i], func(a, b int) bool { return g.in[i][a] < g.in[i][b] })
+	}
+}
+
+// Validate checks internal invariants (every out-edge mirrored by an
+// in-edge, degree sums equal to the edge count); it is used by tests and
+// returns a descriptive error on violation.
+func (g *Directed) Validate() error {
+	var outSum, inSum int
+	for i := range g.out {
+		outSum += len(g.out[i])
+		inSum += len(g.in[i])
+	}
+	if outSum != g.edges || inSum != g.edges {
+		return fmt.Errorf("graph: degree sums (out=%d in=%d) disagree with edge count %d", outSum, inSum, g.edges)
+	}
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			if v < 0 || int(v) >= len(g.labels) {
+				return fmt.Errorf("graph: out-edge (%d,%d) points outside node range", u, v)
+			}
+			found := false
+			for _, w := range g.in[v] {
+				if int(w) == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("graph: edge (%d,%d) missing from in-adjacency", u, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestDirectedBasics(t *testing.T) {
+	g := NewDirected(4)
+	if !g.AddEdge("a", "b") {
+		t.Fatal("first edge should be new")
+	}
+	if g.AddEdge("a", "b") {
+		t.Fatal("duplicate edge should not be added")
+	}
+	g.AddEdge("b", "c")
+	g.AddEdge("a", "c")
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.HasEdge("x", "a") || g.HasEdge("a", "x") {
+		t.Fatal("HasEdge should be false for unknown labels")
+	}
+	idx, ok := g.Index("b")
+	if !ok {
+		t.Fatal("missing index for b")
+	}
+	if g.Label(idx) != "b" {
+		t.Fatal("label round-trip failed")
+	}
+	if g.OutDegree(idx) != 1 || g.InDegree(idx) != 1 {
+		t.Fatalf("degrees of b: out=%d in=%d", g.OutDegree(idx), g.InDegree(idx))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectedSelfLoop(t *testing.T) {
+	g := NewDirected(1)
+	g.AddEdge("a", "a")
+	if g.NumEdges() != 1 {
+		t.Fatal("self loop not counted")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectedLabels(t *testing.T) {
+	g := NewDirected(2)
+	g.AddNode("x")
+	g.AddNode("y")
+	labels := g.Labels()
+	labels[0] = "mutated"
+	if g.Label(0) != "x" {
+		t.Fatal("Labels() must return a copy")
+	}
+}
+
+func TestDirectedValidateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewDirected(50)
+	for i := 0; i < 500; i++ {
+		g.AddEdge(fmt.Sprint("n", rng.Intn(50)), fmt.Sprint("n", rng.Intn(50)))
+	}
+	g.SortAdjacency()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSFrom(t *testing.T) {
+	g := NewDirected(5)
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "d")
+	g.AddNode("isolated")
+	start, _ := g.Index("a")
+	depths := map[string]int{}
+	g.BFSFrom(start, func(n int32, d int) bool {
+		depths[g.Label(n)] = d
+		return true
+	})
+	want := map[string]int{"a": 0, "b": 1, "c": 1, "d": 2}
+	if len(depths) != len(want) {
+		t.Fatalf("visited %v", depths)
+	}
+	for k, v := range want {
+		if depths[k] != v {
+			t.Errorf("depth[%s] = %d, want %d", k, depths[k], v)
+		}
+	}
+	// Early stop.
+	count := 0
+	g.BFSFrom(start, func(int32, int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+	// Out-of-range start is a no-op.
+	g.BFSFrom(99, func(int32, int) bool { t.Fatal("should not visit"); return true })
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := NewDirected(6)
+	g.AddEdge("a", "b")
+	g.AddEdge("c", "b") // weakly connects c to {a,b}
+	g.AddEdge("x", "y")
+	g.AddNode("lonely")
+	comp, n := g.WeaklyConnectedComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	idx := func(s string) int32 { i, _ := g.Index(s); return i }
+	if comp[idx("a")] != comp[idx("b")] || comp[idx("b")] != comp[idx("c")] {
+		t.Error("a,b,c should share a component")
+	}
+	if comp[idx("x")] != comp[idx("y")] {
+		t.Error("x,y should share a component")
+	}
+	if comp[idx("lonely")] == comp[idx("a")] || comp[idx("lonely")] == comp[idx("x")] {
+		t.Error("lonely should be alone")
+	}
+}
+
+func TestShortestPathLengths(t *testing.T) {
+	g := NewDirected(5)
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("a", "c")
+	g.AddNode("far")
+	start, _ := g.Index("a")
+	dist := g.ShortestPathLengths(start)
+	idx := func(s string) int32 { i, _ := g.Index(s); return i }
+	if dist[idx("a")] != 0 || dist[idx("b")] != 1 || dist[idx("c")] != 1 {
+		t.Errorf("dist = %v", dist)
+	}
+	if dist[idx("far")] != -1 {
+		t.Error("unreachable node should have dist -1")
+	}
+}

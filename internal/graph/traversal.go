@@ -1,0 +1,95 @@
+package graph
+
+// BFSFrom performs a breadth-first traversal from the start index following
+// out-edges, invoking visit(node, depth) for each reachable node including
+// the start. Traversal stops early if visit returns false.
+func (g *Directed) BFSFrom(start int32, visit func(node int32, depth int) bool) {
+	if int(start) >= g.NumNodes() {
+		return
+	}
+	visited := make([]bool, g.NumNodes())
+	queue := []int32{start}
+	visited[start] = true
+	depth := 0
+	for len(queue) > 0 {
+		var next []int32
+		for _, u := range queue {
+			if !visit(u, depth) {
+				return
+			}
+			for _, v := range g.out[u] {
+				if !visited[v] {
+					visited[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		queue = next
+		depth++
+	}
+}
+
+// WeaklyConnectedComponents returns the component id of each node, treating
+// edges as undirected, plus the number of components. Component ids are
+// assigned in order of first discovery.
+func (g *Directed) WeaklyConnectedComponents() ([]int32, int) {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var nComp int32
+	var stack []int32
+	for s := int32(0); int(s) < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := nComp
+		nComp++
+		comp[s] = id
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.out[u] {
+				if comp[v] < 0 {
+					comp[v] = id
+					stack = append(stack, v)
+				}
+			}
+			for _, v := range g.in[u] {
+				if comp[v] < 0 {
+					comp[v] = id
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return comp, int(nComp)
+}
+
+// ShortestPathLengths runs an unweighted single-source shortest-path BFS
+// over out-edges and returns the distance to every node (-1 when
+// unreachable).
+func (g *Directed) ShortestPathLengths(start int32) []int32 {
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if int(start) >= g.NumNodes() {
+		return dist
+	}
+	dist[start] = 0
+	queue := []int32{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.out[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

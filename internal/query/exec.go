@@ -1,0 +1,488 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"crowdscope/internal/dataflow"
+	"crowdscope/internal/store"
+)
+
+// Result is a query's output table.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// Run parses and executes a statement against the store.
+func Run(st *store.Store, statement string) (*Result, error) {
+	q, err := Parse(statement)
+	if err != nil {
+		return nil, err
+	}
+	return q.Execute(st)
+}
+
+// Execute runs the parsed query: records stream out of the store, the
+// WHERE filter and grouping run on the dataflow engine, and ORDER BY /
+// LIMIT shape the final table.
+func (q *Query) Execute(st *store.Store) (*Result, error) {
+	// Load the namespace into generic JSON records.
+	var records []map[string]any
+	err := st.Scan(q.namespace, func(payload []byte) error {
+		var rec map[string]any
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("query: bad record in %s: %w", q.namespace, err)
+		}
+		records = append(records, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	parts := len(records)/4096 + 1
+	if parts > 32 {
+		parts = 32
+	}
+	ds := dataflow.FromSlice(records, parts)
+	if q.where != nil {
+		where := q.where
+		ds = dataflow.Filter(ds, func(rec map[string]any) bool {
+			return truthy(eval(where, rec))
+		})
+	}
+
+	res := &Result{}
+	for _, item := range q.items {
+		res.Columns = append(res.Columns, item.name)
+	}
+
+	aggregated := len(q.groupBy) > 0
+	if !aggregated {
+		for _, item := range q.items {
+			if containsAggregate(item.expr) {
+				aggregated = true
+				break
+			}
+		}
+	}
+
+	if aggregated {
+		groups, err := q.group(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, rows := range groups {
+			out := make([]any, len(q.items))
+			for i, item := range q.items {
+				v, err := evalAggregate(item.expr, rows)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	} else {
+		collected, err := ds.Collect()
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range collected {
+			out := make([]any, len(q.items))
+			for i, item := range q.items {
+				out[i] = eval(item.expr, rec)
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	}
+
+	if err := q.order(res); err != nil {
+		return nil, err
+	}
+	if q.limit >= 0 && len(res.Rows) > q.limit {
+		res.Rows = res.Rows[:q.limit]
+	}
+	return res, nil
+}
+
+// group partitions filtered records by the GROUP BY key (or one global
+// group) using a dataflow shuffle, returning groups in deterministic key
+// order.
+func (q *Query) group(ds *dataflow.Dataset[map[string]any]) ([][]map[string]any, error) {
+	if len(q.groupBy) == 0 {
+		rows, err := ds.Collect()
+		if err != nil {
+			return nil, err
+		}
+		return [][]map[string]any{rows}, nil
+	}
+	groupBy := q.groupBy
+	keyed := dataflow.KeyBy(ds, func(rec map[string]any) string {
+		var sb strings.Builder
+		for _, g := range groupBy {
+			fmt.Fprintf(&sb, "%v\x00", eval(g, rec))
+		}
+		return sb.String()
+	})
+	grouped, err := dataflow.GroupByKey(keyed).Collect()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(grouped, func(i, j int) bool { return grouped[i].Key < grouped[j].Key })
+	out := make([][]map[string]any, len(grouped))
+	for i, kv := range grouped {
+		out[i] = kv.Value
+	}
+	return out, nil
+}
+
+// order applies ORDER BY over the result rows by re-evaluating the order
+// expressions against the output columns when they alias a select item,
+// falling back to positional column references.
+func (q *Query) order(res *Result) error {
+	if len(q.orderBy) == 0 {
+		return nil
+	}
+	// Each order expression must match a select item (by alias or
+	// expression text) — the common, unambiguous case.
+	cols := make([]int, len(q.orderBy))
+	for i, item := range q.orderBy {
+		name := item.expr.String()
+		found := -1
+		for j, c := range res.Columns {
+			if c == name {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			for j, sel := range q.items {
+				if sel.expr.String() == name {
+					found = j
+					break
+				}
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("query: ORDER BY %s does not match a selected column", name)
+		}
+		cols[i] = found
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for i, c := range cols {
+			cmp := compareValues(res.Rows[a][c], res.Rows[b][c])
+			if cmp == 0 {
+				continue
+			}
+			if q.orderBy[i].desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// ---- expression evaluation ----
+
+// eval evaluates a non-aggregate expression against one record. Missing
+// fields yield nil.
+func eval(e expr, rec map[string]any) any {
+	switch t := e.(type) {
+	case literalExpr:
+		return t.value
+	case identExpr:
+		var cur any = rec
+		for _, part := range t.path {
+			m, ok := cur.(map[string]any)
+			if !ok {
+				return nil
+			}
+			cur, ok = m[part]
+			if !ok {
+				return nil
+			}
+		}
+		return cur
+	case unaryExpr:
+		v := eval(t.sub, rec)
+		switch t.op {
+		case "NOT":
+			return !truthy(v)
+		case "-":
+			if f, ok := toFloat(v); ok {
+				return -f
+			}
+			return nil
+		}
+	case binaryExpr:
+		switch t.op {
+		case "AND":
+			return truthy(eval(t.l, rec)) && truthy(eval(t.r, rec))
+		case "OR":
+			return truthy(eval(t.l, rec)) || truthy(eval(t.r, rec))
+		}
+		l, r := eval(t.l, rec), eval(t.r, rec)
+		switch t.op {
+		case "+", "-", "*", "/":
+			lf, lok := toFloat(l)
+			rf, rok := toFloat(r)
+			if !lok || !rok {
+				return nil
+			}
+			switch t.op {
+			case "+":
+				return lf + rf
+			case "-":
+				return lf - rf
+			case "*":
+				return lf * rf
+			case "/":
+				if rf == 0 {
+					return nil
+				}
+				return lf / rf
+			}
+		case "=", "!=", "<", "<=", ">", ">=":
+			if l == nil || r == nil {
+				return false
+			}
+			cmp := compareValues(l, r)
+			switch t.op {
+			case "=":
+				return cmp == 0
+			case "!=":
+				return cmp != 0
+			case "<":
+				return cmp < 0
+			case "<=":
+				return cmp <= 0
+			case ">":
+				return cmp > 0
+			case ">=":
+				return cmp >= 0
+			}
+		}
+	case callExpr:
+		if t.fn == "LEN" {
+			switch v := eval(t.arg, rec).(type) {
+			case []any:
+				return float64(len(v))
+			case string:
+				return float64(len(v))
+			case nil:
+				return float64(0)
+			}
+			return nil
+		}
+		// Aggregates over a single record degrade to the record itself.
+		return evalAggregateOne(t, []map[string]any{rec})
+	}
+	return nil
+}
+
+// containsAggregate reports whether the expression contains COUNT/SUM/....
+func containsAggregate(e expr) bool {
+	switch t := e.(type) {
+	case callExpr:
+		return t.fn != "LEN"
+	case unaryExpr:
+		return containsAggregate(t.sub)
+	case binaryExpr:
+		return containsAggregate(t.l) || containsAggregate(t.r)
+	}
+	return false
+}
+
+// evalAggregate evaluates an expression over a group of records:
+// aggregates fold the group, everything else is evaluated on the group's
+// first record (the GROUP BY key is constant within a group).
+func evalAggregate(e expr, rows []map[string]any) (any, error) {
+	switch t := e.(type) {
+	case callExpr:
+		if t.fn == "LEN" {
+			if len(rows) == 0 {
+				return nil, nil
+			}
+			return eval(t, rows[0]), nil
+		}
+		return evalAggregateOne(t, rows), nil
+	case binaryExpr:
+		if containsAggregate(t) {
+			l, err := evalAggregate(t.l, rows)
+			if err != nil {
+				return nil, err
+			}
+			r, err := evalAggregate(t.r, rows)
+			if err != nil {
+				return nil, err
+			}
+			lf, lok := toFloat(l)
+			rf, rok := toFloat(r)
+			if !lok || !rok {
+				return nil, nil
+			}
+			switch t.op {
+			case "+":
+				return lf + rf, nil
+			case "-":
+				return lf - rf, nil
+			case "*":
+				return lf * rf, nil
+			case "/":
+				if rf == 0 {
+					return nil, nil
+				}
+				return lf / rf, nil
+			default:
+				return nil, fmt.Errorf("query: operator %s not supported over aggregates", t.op)
+			}
+		}
+	case unaryExpr:
+		if containsAggregate(t) {
+			v, err := evalAggregate(t.sub, rows)
+			if err != nil {
+				return nil, err
+			}
+			if t.op == "-" {
+				if f, ok := toFloat(v); ok {
+					return -f, nil
+				}
+				return nil, nil
+			}
+			return !truthy(v), nil
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	return eval(e, rows[0]), nil
+}
+
+// evalAggregateOne computes one aggregate call over a group.
+func evalAggregateOne(c callExpr, rows []map[string]any) any {
+	if c.fn == "COUNT" && c.star {
+		return float64(len(rows))
+	}
+	var vals []float64
+	var nonNull int
+	for _, rec := range rows {
+		v := eval(c.arg, rec)
+		if v == nil {
+			continue
+		}
+		nonNull++
+		if f, ok := toFloat(v); ok {
+			vals = append(vals, f)
+		}
+	}
+	switch c.fn {
+	case "COUNT":
+		return float64(nonNull)
+	case "SUM":
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	case "AVG":
+		if len(vals) == 0 {
+			return nil
+		}
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	case "MIN":
+		if len(vals) == 0 {
+			return nil
+		}
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case "MAX":
+		if len(vals) == 0 {
+			return nil
+		}
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	return nil
+}
+
+func truthy(v any) bool {
+	switch t := v.(type) {
+	case bool:
+		return t
+	case float64:
+		return t != 0
+	case string:
+		return t != ""
+	case nil:
+		return false
+	}
+	return true
+}
+
+func toFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case bool:
+		if t {
+			return 1, true
+		}
+		return 0, true
+	case json.Number:
+		f, err := t.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// compareValues orders mixed values: numbers numerically, strings
+// lexically, bools false<true; nil sorts first; mismatched kinds order by
+// kind name for stability.
+func compareValues(a, b any) int {
+	if a == nil && b == nil {
+		return 0
+	}
+	if a == nil {
+		return -1
+	}
+	if b == nil {
+		return 1
+	}
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	as, aIsStr := a.(string)
+	bs, bIsStr := b.(string)
+	if aIsStr && bIsStr {
+		return strings.Compare(as, bs)
+	}
+	return strings.Compare(fmt.Sprintf("%T", a), fmt.Sprintf("%T", b))
+}

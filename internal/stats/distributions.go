@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// BoundedZipf samples integers in [1, max] with P(k) proportional to
+// k^(-s). It drives the long-tailed investments-per-investor distribution
+// of Figure 3 (mean ≈3.3, median 1, max ≈1000 at paper scale).
+//
+// Sampling is by inversion over the precomputed CDF, O(log max) per draw.
+type BoundedZipf struct {
+	cdf []float64 // cdf[k-1] = P(X <= k)
+	max int
+	s   float64
+}
+
+// NewBoundedZipf builds the sampler. It returns an error if max < 1 or the
+// exponent is not positive.
+func NewBoundedZipf(s float64, max int) (*BoundedZipf, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("stats: zipf max must be >= 1, got %d", max)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: zipf exponent must be > 0, got %g", s)
+	}
+	cdf := make([]float64, max)
+	var total float64
+	for k := 1; k <= max; k++ {
+		total += math.Pow(float64(k), -s)
+		cdf[k-1] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &BoundedZipf{cdf: cdf, max: max, s: s}, nil
+}
+
+// Sample draws one value in [1, max].
+func (z *BoundedZipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, z.max-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Mean returns the exact mean of the bounded Zipf distribution.
+func (z *BoundedZipf) Mean() float64 {
+	var num, den float64
+	for k := 1; k <= z.max; k++ {
+		p := math.Pow(float64(k), -z.s)
+		num += float64(k) * p
+		den += p
+	}
+	return num / den
+}
+
+// Alias is Walker's alias-method sampler over a finite discrete
+// distribution: O(n) setup, O(1) per draw. Used for weighted company /
+// community selection in the generator.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias sampler from non-negative weights. It returns an
+// error if no weight is positive.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: alias sampler needs at least one weight")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("stats: alias weight %d is invalid: %g", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: alias sampler needs a positive total weight")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Sample draws one index with probability proportional to its weight.
+func (a *Alias) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// LogNormal draws from a log-normal distribution with the given parameters
+// of the underlying normal; used for funding-round amounts and social
+// engagement counts (likes, tweets, followers), which are heavy-tailed.
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64()*sigma + mu)
+}

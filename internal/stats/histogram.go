@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width binned density estimate over [Lo, Hi). Values
+// outside the range are clamped into the edge bins, so the histogram always
+// accounts for the whole sample.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram with the given number of equal-width bins
+// over [lo, hi). It returns an error for a non-positive bin count or an
+// empty range.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs bins > 0, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram needs hi > lo, got [%g, %g)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.Counts[h.binOf(x)]++
+	h.total++
+}
+
+// AddAll records every observation in the sample.
+func (h *Histogram) AddAll(sample []float64) {
+	for _, x := range sample {
+		h.Add(x)
+	}
+}
+
+func (h *Histogram) binOf(x float64) int {
+	if x < h.Lo {
+		return 0
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	idx := int((x - h.Lo) / w)
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	return idx
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Density returns the normalized PDF estimate: bin probabilities divided by
+// bin width, so the curve integrates to 1. An empty histogram returns all
+// zeros.
+func (h *Histogram) Density() []float64 {
+	d := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return d
+	}
+	w := h.BinWidth()
+	for i, c := range h.Counts {
+		d[i] = float64(c) / (float64(h.total) * w)
+	}
+	return d
+}
+
+// Proportions returns each bin's share of the total mass.
+func (h *Histogram) Proportions() []float64 {
+	p := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return p
+	}
+	for i, c := range h.Counts {
+		p[i] = float64(c) / float64(h.total)
+	}
+	return p
+}
+
+// FreedmanDiaconisBins suggests a bin count for the sample using the
+// Freedman–Diaconis rule, clamped to [1, maxBins].
+func FreedmanDiaconisBins(sample []float64, maxBins int) int {
+	if len(sample) < 2 || maxBins < 1 {
+		return 1
+	}
+	iqr := Percentile(sample, 75) - Percentile(sample, 25)
+	if iqr <= 0 {
+		return 1
+	}
+	width := 2 * iqr / math.Cbrt(float64(len(sample)))
+	lo, hi := sample[0], sample[0]
+	for _, v := range sample {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo || width <= 0 {
+		return 1
+	}
+	bins := int(math.Ceil((hi - lo) / width))
+	if bins < 1 {
+		bins = 1
+	}
+	if bins > maxBins {
+		bins = maxBins
+	}
+	return bins
+}

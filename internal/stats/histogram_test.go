@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("expected error for empty range")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Error("expected error for inverted range")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 1.9, 2, 9.9, 10, 11, -5})
+	// Bins: [0,2) [2,4) [4,6) [6,8) [8,10); 10, 11 clamp into last, -5 into first.
+	want := []int{3, 1, 0, 0, 3}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	h, _ := NewHistogram(-3, 3, 30)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		h.Add(rng.NormFloat64())
+	}
+	var integral float64
+	for _, d := range h.Density() {
+		integral += d * h.BinWidth()
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("density integrates to %g", integral)
+	}
+	var mass float64
+	for _, p := range h.Proportions() {
+		mass += p
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Errorf("proportions sum to %g", mass)
+	}
+}
+
+func TestHistogramEmptyDensity(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	for _, d := range h.Density() {
+		if d != 0 {
+			t.Fatal("empty histogram density not zero")
+		}
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	if c := h.BinCenter(0); c != 1 {
+		t.Errorf("BinCenter(0) = %g, want 1", c)
+	}
+	if c := h.BinCenter(4); c != 9 {
+		t.Errorf("BinCenter(4) = %g, want 9", c)
+	}
+}
+
+func TestFreedmanDiaconisBins(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = rng.NormFloat64()
+	}
+	bins := FreedmanDiaconisBins(sample, 200)
+	if bins < 10 || bins > 200 {
+		t.Errorf("FD bins = %d, expected a moderate count", bins)
+	}
+	if b := FreedmanDiaconisBins([]float64{1}, 100); b != 1 {
+		t.Errorf("degenerate FD bins = %d", b)
+	}
+	if b := FreedmanDiaconisBins([]float64{5, 5, 5, 5}, 100); b != 1 {
+		t.Errorf("constant FD bins = %d", b)
+	}
+}
+
+func TestKDEBasic(t *testing.T) {
+	if _, err := NewKDE(nil, 0); err == nil {
+		t.Fatal("expected error for empty KDE sample")
+	}
+	rng := rand.New(rand.NewSource(3))
+	sample := make([]float64, 4000)
+	for i := range sample {
+		sample[i] = rng.NormFloat64()
+	}
+	k, err := NewKDE(sample, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Bandwidth() <= 0 {
+		t.Fatal("non-positive bandwidth")
+	}
+	// Density at the mode should exceed density in the tail.
+	if k.Eval(0) <= k.Eval(3) {
+		t.Errorf("Eval(0)=%g not above Eval(3)=%g", k.Eval(0), k.Eval(3))
+	}
+	// Should roughly match the standard normal density at 0 (~0.3989).
+	if d := k.Eval(0); d < 0.3 || d > 0.5 {
+		t.Errorf("Eval(0) = %g, want ≈0.399", d)
+	}
+}
+
+func TestKDEGridIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sample := make([]float64, 500)
+	for i := range sample {
+		sample[i] = rng.NormFloat64() * 2
+	}
+	k, _ := NewKDE(sample, 0)
+	xs, ys := k.Grid(400)
+	var integral float64
+	for i := 1; i < len(xs); i++ {
+		integral += (ys[i] + ys[i-1]) / 2 * (xs[i] - xs[i-1])
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Errorf("KDE grid integrates to %g", integral)
+	}
+}
+
+func TestKDEDegenerateSample(t *testing.T) {
+	k, err := NewKDE([]float64{5, 5, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(k.Eval(5), 0) || math.IsNaN(k.Eval(5)) {
+		t.Error("degenerate KDE not finite at the atom")
+	}
+}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPowerLawAlphaRecovers(t *testing.T) {
+	// Sample from a bounded Zipf with known exponent and check the MLE
+	// lands near it.
+	for _, s := range []float64{1.8, 2.5} {
+		z, err := NewBoundedZipf(s, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(s * 100)))
+		sample := make([]float64, 30000)
+		for i := range sample {
+			sample[i] = float64(z.Sample(rng))
+		}
+		alpha, n, err := PowerLawAlpha(sample, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("empty tail")
+		}
+		if math.Abs(alpha-s) > 0.25 {
+			t.Errorf("alpha = %.3f, want ≈%.1f", alpha, s)
+		}
+	}
+}
+
+func TestPowerLawAlphaErrors(t *testing.T) {
+	if _, _, err := PowerLawAlpha([]float64{1, 2, 3}, 0.4); err == nil {
+		t.Error("xmin <= 0.5 accepted")
+	}
+	if _, _, err := PowerLawAlpha([]float64{1, 1, 1}, 5); err == nil {
+		t.Error("empty tail accepted")
+	}
+	if _, _, err := PowerLawAlpha(nil, 2); err == nil {
+		t.Error("empty sample accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SamplePairs draws n i.i.d. ordered pairs (i, j), i != j, uniformly from
+// {0..pop-1}^2, calling f for each. This is the sampling scheme the paper
+// uses to estimate the global shared-investment-size CDF from 800,000
+// investor pairs. It returns an error when pop < 2.
+func SamplePairs(rng *rand.Rand, pop, n int, f func(i, j int)) error {
+	if pop < 2 {
+		return fmt.Errorf("stats: need population >= 2 to sample pairs, got %d", pop)
+	}
+	for k := 0; k < n; k++ {
+		i := rng.Intn(pop)
+		j := rng.Intn(pop - 1)
+		if j >= i {
+			j++
+		}
+		f(i, j)
+	}
+	return nil
+}
+
+// ReservoirSample returns k items drawn uniformly without replacement from
+// a stream of length n presented through at(idx). If k >= n it returns all
+// indices. The result holds indices into the stream.
+func ReservoirSample(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = i
+	}
+	for i := k; i < n; i++ {
+		j := rng.Intn(i + 1)
+		if j < k {
+			out[j] = i
+		}
+	}
+	return out
+}
+
+// Bootstrap resamples the sample with replacement n times, passing each
+// resampled slice (reused between calls — copy it if retained) to f.
+func Bootstrap(rng *rand.Rand, sample []float64, n int, f func(resample []float64)) {
+	if len(sample) == 0 || n <= 0 {
+		return
+	}
+	buf := make([]float64, len(sample))
+	for it := 0; it < n; it++ {
+		for i := range buf {
+			buf[i] = sample[rng.Intn(len(sample))]
+		}
+		f(buf)
+	}
+}
+
+// Shuffle permutes the ints in place using the Fisher–Yates shuffle.
+func Shuffle(rng *rand.Rand, xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Median != 0 {
+		t.Errorf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	if !almostEqual(s.Median, 4.5, 1e-12) {
+		t.Errorf("Median = %g, want 4.5", s.Median)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	// Population sd is 2; sample sd = sqrt(32/7).
+	if !almostEqual(s.StdDev, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %g", s.StdDev)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %g", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %g", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Errorf("empty median = %g", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(s, 50); p != 5 {
+		t.Errorf("P50 = %g, want 5", p)
+	}
+	if p := Percentile(s, 90); p != 9 {
+		t.Errorf("P90 = %g, want 9", p)
+	}
+	if p := Percentile(s, 0); p != 1 {
+		t.Errorf("P0 = %g, want 1", p)
+	}
+	if p := Percentile(s, 100); p != 10 {
+		t.Errorf("P100 = %g, want 10", p)
+	}
+}
+
+func TestVarianceSmall(t *testing.T) {
+	if v := Variance([]float64{5}); v != 0 {
+		t.Errorf("single-element variance = %g", v)
+	}
+	if v := Variance([]float64{1, 3}); v != 2 {
+		t.Errorf("Variance([1,3]) = %g, want 2", v)
+	}
+}
+
+// Property: mean is between min and max; median likewise.
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		sample := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				sample = append(sample, v)
+			}
+		}
+		if len(sample) == 0 {
+			return true
+		}
+		s := Summarize(sample)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Median >= s.Min && s.Median <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifting the sample shifts mean and median by the same amount.
+func TestShiftInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		s := make([]float64, n)
+		shifted := make([]float64, n)
+		shift := rng.NormFloat64() * 100
+		for i := range s {
+			s[i] = rng.NormFloat64()
+			shifted[i] = s[i] + shift
+		}
+		if !almostEqual(Mean(shifted), Mean(s)+shift, 1e-9) {
+			t.Fatalf("mean not shift-invariant")
+		}
+		if !almostEqual(Median(shifted), Median(s)+shift, 1e-9) {
+			t.Fatalf("median not shift-invariant")
+		}
+		if !almostEqual(StdDev(shifted), StdDev(s), 1e-9) {
+			t.Fatalf("sd not shift-invariant")
+		}
+	}
+}
+
+func TestFloatsAndMedianInt(t *testing.T) {
+	f := Floats([]int{1, 2, 3})
+	if len(f) != 3 || f[2] != 3 {
+		t.Errorf("Floats = %v", f)
+	}
+	if m := MedianInt([]int{1, 2, 3, 100}); m != 2.5 {
+		t.Errorf("MedianInt = %g", m)
+	}
+}

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// manifestName is the committed manifest; commits write a temp file and
+// rename over it, which is atomic on POSIX filesystems.
+const manifestName = "MANIFEST.json"
+
+// SegmentInfo describes one sealed, immutable segment file.
+type SegmentInfo struct {
+	// File is the segment filename relative to the store root.
+	File string `json:"file"`
+	// Records is the number of records sealed into the segment.
+	Records int64 `json:"records"`
+	// Bytes is the total file size including header and framing.
+	Bytes int64 `json:"bytes"`
+}
+
+// NamespaceInfo lists the sealed segments of one namespace in append order.
+type NamespaceInfo struct {
+	Segments []SegmentInfo `json:"segments"`
+	// NextSeq numbers the next segment file for the namespace.
+	NextSeq int64 `json:"next_seq"`
+}
+
+// manifest is the on-disk catalog of every namespace.
+type manifest struct {
+	Version    int                       `json:"version"`
+	Namespaces map[string]*NamespaceInfo `json:"namespaces"`
+}
+
+func newManifest() *manifest {
+	return &manifest{Version: 1, Namespaces: map[string]*NamespaceInfo{}}
+}
+
+func loadManifest(dir string) (*manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return newManifest(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("store: parse manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("store: unsupported manifest version %d", m.Version)
+	}
+	if m.Namespaces == nil {
+		m.Namespaces = map[string]*NamespaceInfo{}
+	}
+	return &m, nil
+}
+
+// commit atomically replaces the manifest on disk.
+func (m *manifest) commit(dir string) error {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: commit manifest: %w", err)
+	}
+	return nil
+}
+
+// namespaceNames returns the sorted namespace names.
+func (m *manifest) namespaceNames() []string {
+	names := make([]string, 0, len(m.Namespaces))
+	for n := range m.Namespaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

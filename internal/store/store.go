@@ -1,0 +1,358 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// DefaultSegmentBytes is the rotation threshold for active segments.
+const DefaultSegmentBytes = 8 << 20
+
+// Store is a directory-rooted collection of append-only JSON namespaces.
+// A Store is safe for concurrent use; each namespace admits one open
+// Writer at a time while any number of readers scan committed data.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	manifest *manifest
+	writers  map[string]bool // namespaces with an open writer
+
+	// SegmentBytes is the active-segment rotation threshold; set before
+	// opening writers. Defaults to DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// Open opens (creating if necessary) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	m, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		dir:          dir,
+		manifest:     m,
+		writers:      map[string]bool{},
+		SegmentBytes: DefaultSegmentBytes,
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validNamespace restricts names to path-safe segments like
+// "angellist/startups".
+func validNamespace(ns string) error {
+	if ns == "" {
+		return errors.New("store: empty namespace")
+	}
+	for _, part := range strings.Split(ns, "/") {
+		if part == "" || part == "." || part == ".." {
+			return fmt.Errorf("store: invalid namespace %q", ns)
+		}
+		for _, r := range part {
+			if !(r == '-' || r == '_' || r == '.' ||
+				(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				return fmt.Errorf("store: invalid namespace %q", ns)
+			}
+		}
+	}
+	return nil
+}
+
+// nsDir converts a namespace into its directory name under the root.
+func nsDir(ns string) string { return strings.ReplaceAll(ns, "/", "__") }
+
+// Writer appends JSON records to one namespace. Writers are not safe for
+// concurrent use; parallel producers should marshal through a channel or
+// open distinct namespaces.
+type Writer struct {
+	s       *Store
+	ns      string
+	seg     *segmentWriter
+	sealed  []SegmentInfo
+	seq     int64
+	closed  bool
+	maxSize int64
+}
+
+// Writer opens an appender for the namespace. It returns an error if a
+// writer is already open for it.
+func (s *Store) Writer(ns string) (*Writer, error) {
+	if err := validNamespace(ns); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writers[ns] {
+		return nil, fmt.Errorf("store: namespace %q already has an open writer", ns)
+	}
+	if err := os.MkdirAll(filepath.Join(s.dir, nsDir(ns)), 0o755); err != nil {
+		return nil, err
+	}
+	info := s.manifest.Namespaces[ns]
+	var seq int64
+	if info != nil {
+		seq = info.NextSeq
+	}
+	s.writers[ns] = true
+	return &Writer{s: s, ns: ns, seq: seq, maxSize: s.SegmentBytes}, nil
+}
+
+func (w *Writer) segmentPath(seq int64) string {
+	return filepath.Join(w.s.dir, nsDir(w.ns), fmt.Sprintf("seg-%06d.csg", seq))
+}
+
+// Append marshals v as JSON and appends it. Records become visible to
+// readers only after Close (or Flush) commits the manifest.
+func (w *Writer) Append(v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: marshal record: %w", err)
+	}
+	return w.AppendRaw(payload)
+}
+
+// AppendRaw appends a pre-marshaled JSON payload.
+func (w *Writer) AppendRaw(payload []byte) error {
+	if w.closed {
+		return errors.New("store: append to closed writer")
+	}
+	if w.seg == nil {
+		seg, err := newSegmentWriter(w.segmentPath(w.seq))
+		if err != nil {
+			return err
+		}
+		w.seq++
+		w.seg = seg
+	}
+	if err := w.seg.append(payload); err != nil {
+		return err
+	}
+	if w.seg.bytes >= w.maxSize {
+		return w.rotate()
+	}
+	return nil
+}
+
+func (w *Writer) rotate() error {
+	records, size, err := w.seg.seal()
+	if err != nil {
+		return err
+	}
+	w.sealed = append(w.sealed, SegmentInfo{
+		File:    filepath.Join(nsDir(w.ns), filepath.Base(w.seg.path)),
+		Records: records,
+		Bytes:   size,
+	})
+	w.seg = nil
+	return nil
+}
+
+// Flush seals the active segment (if any) and commits all sealed segments
+// to the manifest, making everything appended so far durable and visible.
+func (w *Writer) Flush() error {
+	if w.closed {
+		return errors.New("store: flush of closed writer")
+	}
+	if w.seg != nil && w.seg.records > 0 {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	} else if w.seg != nil {
+		w.seg.abort()
+		w.seg = nil
+		w.seq--
+	}
+	if len(w.sealed) == 0 {
+		return nil
+	}
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	info := w.s.manifest.Namespaces[w.ns]
+	if info == nil {
+		info = &NamespaceInfo{}
+		w.s.manifest.Namespaces[w.ns] = info
+	}
+	info.Segments = append(info.Segments, w.sealed...)
+	info.NextSeq = w.seq
+	if err := w.s.manifest.commit(w.s.dir); err != nil {
+		// Roll the in-memory manifest back so a retry does not double-add.
+		info.Segments = info.Segments[:len(info.Segments)-len(w.sealed)]
+		return err
+	}
+	w.sealed = w.sealed[:0]
+	return nil
+}
+
+// Close flushes and releases the namespace writer slot. Close is
+// idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	err := w.Flush()
+	w.closed = true
+	w.s.mu.Lock()
+	delete(w.s.writers, w.ns)
+	w.s.mu.Unlock()
+	return err
+}
+
+// Scan streams every committed record of the namespace, in append order,
+// to fn. The payload slice is reused; fn must copy it if retained. Scan
+// verifies record CRCs and per-segment record counts, returning an error
+// wrapping ErrCorrupt on integrity failure. Scanning an unknown namespace
+// is an error.
+func (s *Store) Scan(ns string, fn func(payload []byte) error) error {
+	segs, err := s.snapshot(ns)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := scanSegment(filepath.Join(s.dir, seg.File), seg.Records, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshot returns the committed segment list for a namespace.
+func (s *Store) snapshot(ns string) ([]SegmentInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := s.manifest.Namespaces[ns]
+	if info == nil {
+		return nil, fmt.Errorf("store: unknown namespace %q", ns)
+	}
+	segs := make([]SegmentInfo, len(info.Segments))
+	copy(segs, info.Segments)
+	return segs, nil
+}
+
+// ScanAs streams every committed record of the namespace unmarshaled into
+// T.
+func ScanAs[T any](s *Store, ns string, fn func(rec T) error) error {
+	return s.Scan(ns, func(payload []byte) error {
+		var rec T
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("store: unmarshal record in %q: %w", ns, err)
+		}
+		return fn(rec)
+	})
+}
+
+// ReadAll collects every record of a namespace into a slice of T. Intended
+// for tests and moderate-sized namespaces; large scans should stream.
+func ReadAll[T any](s *Store, ns string) ([]T, error) {
+	var out []T
+	err := ScanAs(s, ns, func(rec T) error {
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
+}
+
+// Namespaces returns the sorted names of all committed namespaces.
+func (s *Store) Namespaces() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.manifest.namespaceNames()
+}
+
+// NamespaceStats summarizes a namespace's committed contents.
+type NamespaceStats struct {
+	Segments int
+	Records  int64
+	Bytes    int64
+}
+
+// Stats returns committed accounting for the namespace.
+func (s *Store) Stats(ns string) (NamespaceStats, error) {
+	segs, err := s.snapshot(ns)
+	if err != nil {
+		return NamespaceStats{}, err
+	}
+	var st NamespaceStats
+	st.Segments = len(segs)
+	for _, seg := range segs {
+		st.Records += seg.Records
+		st.Bytes += seg.Bytes
+	}
+	return st, nil
+}
+
+// Compact rewrites all of a namespace's segments into a single new segment
+// and commits a manifest pointing only at it, reclaiming per-segment
+// overhead after many small flushes. Concurrent readers holding the old
+// snapshot keep working because old files are removed only after commit.
+func (s *Store) Compact(ns string) error {
+	segs, err := s.snapshot(ns)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.writers[ns] {
+		s.mu.Unlock()
+		return fmt.Errorf("store: cannot compact %q while a writer is open", ns)
+	}
+	// Reserve the writer slot so appends cannot interleave with compaction.
+	s.writers[ns] = true
+	info := s.manifest.Namespaces[ns]
+	seq := info.NextSeq
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.writers, ns)
+		s.mu.Unlock()
+	}()
+
+	path := filepath.Join(s.dir, nsDir(ns), fmt.Sprintf("seg-%06d.csg", seq))
+	sw, err := newSegmentWriter(path)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		err := scanSegment(filepath.Join(s.dir, seg.File), seg.Records, func(payload []byte) error {
+			return sw.append(payload)
+		})
+		if err != nil {
+			sw.abort()
+			return err
+		}
+	}
+	records, size, err := sw.seal()
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	info = s.manifest.Namespaces[ns]
+	old := info.Segments
+	info.Segments = []SegmentInfo{{
+		File:    filepath.Join(nsDir(ns), filepath.Base(path)),
+		Records: records,
+		Bytes:   size,
+	}}
+	info.NextSeq = seq + 1
+	if err := s.manifest.commit(s.dir); err != nil {
+		info.Segments = old
+		info.NextSeq = seq
+		s.mu.Unlock()
+		os.Remove(path)
+		return err
+	}
+	s.mu.Unlock()
+	for _, seg := range old {
+		os.Remove(filepath.Join(s.dir, seg.File))
+	}
+	return nil
+}
