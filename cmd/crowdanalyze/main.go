@@ -26,6 +26,7 @@ import (
 	"crowdscope"
 	"crowdscope/internal/community"
 	"crowdscope/internal/core"
+	"crowdscope/internal/parallel"
 	"crowdscope/internal/viz"
 )
 
@@ -37,9 +38,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: e1,fig3,fig4,fig5,fig6,fig7,e4,e5,e9,e11,e12,e13,all")
 	csvDir := flag.String("csv", "", "optional directory for CSV figure series")
 	pairs := flag.Int("pairs", 100000, "global pair-sample size for fig4 (paper: 800000)")
+	workers := flag.Int("workers", 0, "worker pool size for all parallel kernels (<=0: GOMAXPROCS); results are identical for any value")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
-	p, err := crowdscope.NewPipeline(crowdscope.PipelineConfig{Seed: *seed, Scale: *scale})
+	p, err := crowdscope.NewPipeline(crowdscope.PipelineConfig{Seed: *seed, Scale: *scale, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"crowdscope/internal/parallel"
 	"crowdscope/internal/query"
 	"crowdscope/internal/store"
 )
@@ -27,7 +28,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("crowdquery: ")
 	storeDir := flag.String("store", "crawl-data", "store directory (see crowdcrawl)")
+	workers := flag.Int("workers", 0, "worker pool size for query execution (<=0: GOMAXPROCS)")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	st, err := store.Open(*storeDir)
 	if err != nil {

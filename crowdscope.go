@@ -42,7 +42,10 @@ type PipelineConfig struct {
 	// across (the paper distributes its Twitter crawl over several
 	// machines/tokens). Default: 3 tokens.
 	Tokens []string
-	// Workers bounds crawler parallelism. Default 8.
+	// Workers bounds crawler parallelism and the analysis kernels'
+	// worker pool. Default 8 for the crawler; <= 0 leaves the analysis
+	// on the process-default pool. Analysis results are bit-identical
+	// for every worker count.
 	Workers int
 	// FailureRate injects transient API errors, exercising retries.
 	FailureRate float64
@@ -170,7 +173,7 @@ func (p *Pipeline) Analyze(snapshot int) (*Analysis, error) {
 	}
 	b := core.BuildInvestorGraph(investors)
 	k := p.World.Cfg.NumCommunities()
-	comm, err := core.RunCommunities(b, 4, k, p.Config.Seed)
+	comm, err := core.RunCommunitiesWorkers(b, 4, k, p.Config.Seed, p.Config.Workers)
 	if err != nil {
 		return nil, err
 	}

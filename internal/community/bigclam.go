@@ -102,7 +102,7 @@ func (b *BigCLAM) Detect(bp *graph.Bipartite) (*Assignment, error) {
 	}
 
 	SF := colSums(F, K)
-	scratch := make([]float64, K)
+	scratch := newRowScratch(K)
 	prevL := math.Inf(-1)
 	for iter := 0; iter < maxIter; iter++ {
 		var total float64
@@ -110,7 +110,6 @@ func (b *BigCLAM) Detect(bp *graph.Bipartite) (*Assignment, error) {
 			// Exclude self from the non-neighbor sum.
 			for j := 0; j < K; j++ {
 				SF[j] -= F[u][j]
-				scratch[j] = 0
 			}
 			total += updateRow(F[u], adj[u], F, SF, scratch)
 			for j := 0; j < K; j++ {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"crowdscope/internal/graph"
+	"crowdscope/internal/parallel"
 )
 
 // CoDA fits the Communities-through-Directed-Affiliations model of
@@ -36,6 +37,12 @@ type CoDA struct {
 	Seed int64
 	// MinMembers drops communities with fewer investor members; default 3.
 	MinMembers int
+	// Workers bounds the parallelism of the block-coordinate sweeps;
+	// <= 0 selects the process-default pool. Rows within a sweep are
+	// independent given the opposite matrix and the column-sum caches,
+	// and cache updates merge in row order, so the fit is bit-identical
+	// for every worker count.
+	Workers int
 }
 
 // Name implements Detector.
@@ -71,17 +78,49 @@ func (c *CoDA) fit(b *graph.Bipartite) (F, H [][]float64, err error) {
 	SF := colSums(F, K)
 	SH := colSums(H, K)
 
+	// Per-worker scratch for the parallel sweeps. Within a sweep every
+	// row update reads only its own row, the (frozen) opposite matrix and
+	// the opposite column-sum cache; the row's own cache is written but
+	// never read, so deferring those writes to the ordered merge phase
+	// reproduces the serial accumulation order exactly.
+	pool := parallel.New(c.Workers)
+	rows := nL
+	if nR > rows {
+		rows = nR
+	}
+	scratch := make([]*rowScratch, pool.WorkersFor(rows))
+	for i := range scratch {
+		scratch[i] = newRowScratch(K)
+	}
+
 	prevL := math.Inf(-1)
 	for iter := 0; iter < maxIter; iter++ {
 		var total float64
 		// Sweep investors.
-		for u := 0; u < nL; u++ {
-			total += updateRow(F[u], b.Fwd(int32(u)), H, SH, SF)
-		}
+		pool.Ordered(nL,
+			func(w, u int) {
+				sc := scratch[w]
+				sc.lik = updateRow(F[u], b.Fwd(int32(u)), H, SH, sc)
+			},
+			func(w, u int) {
+				sc := scratch[w]
+				total += sc.lik
+				for k := 0; k < K; k++ {
+					SF[k] += sc.diff[k]
+				}
+			})
 		// Sweep companies (their neighbors are investors, roles swapped).
-		for v := 0; v < nR; v++ {
-			updateRow(H[v], b.Rev(int32(v)), F, SF, SH)
-		}
+		pool.Ordered(nR,
+			func(w, v int) {
+				sc := scratch[w]
+				sc.lik = updateRow(H[v], b.Rev(int32(v)), F, SF, sc)
+			},
+			func(w, v int) {
+				sc := scratch[w]
+				for k := 0; k < K; k++ {
+					SH[k] += sc.diff[k]
+				}
+			})
 		if prevL != math.Inf(-1) {
 			denom := math.Abs(prevL)
 			if denom < 1e-12 {
@@ -217,17 +256,42 @@ func (c *CoDA) seed(b *graph.Bipartite, F, H [][]float64, rng *rand.Rand) {
 	}
 }
 
+// rowScratch holds one worker's reusable buffers for updateRow plus the
+// per-row outputs (cache diff, likelihood) consumed by the ordered merge.
+type rowScratch struct {
+	grad, nbrSum, newX, nbr []float64
+	// diff is the row's column-sum cache delta (newX − X, or zeros when
+	// the line search rejects); lik the row's post-update likelihood.
+	diff []float64
+	lik  float64
+}
+
+func newRowScratch(k int) *rowScratch {
+	return &rowScratch{
+		grad:   make([]float64, k),
+		nbrSum: make([]float64, k),
+		newX:   make([]float64, k),
+		nbr:    make([]float64, k),
+		diff:   make([]float64, k),
+	}
+}
+
 // updateRow performs one projected-gradient step with backtracking for a
 // single row X (either an F_u against H, or an H_v against F), returning
 // the row's post-update local likelihood. neighbors are the row's linked
 // opposite-side nodes; sumOther is the column-sum cache of the opposite
-// matrix, and sumSelf the cache of this row's own matrix (updated in
-// place).
-func updateRow(X []float64, neighbors []int32, other [][]float64, sumOther, sumSelf []float64) float64 {
+// matrix. X is updated in place; the caller applies sc.diff to the row's
+// own column-sum cache (in row order, to keep the fit deterministic).
+func updateRow(X []float64, neighbors []int32, other [][]float64, sumOther []float64, sc *rowScratch) float64 {
 	K := len(X)
-	grad := make([]float64, K)
+	grad := sc.grad
+	nbrSum := sc.nbrSum
+	for k := 0; k < K; k++ {
+		grad[k] = 0
+		nbrSum[k] = 0
+		sc.diff[k] = 0
+	}
 	// Gradient: Σ_{v∈N} other_v * e^{-x}/(1-e^{-x}) − (sumOther − Σ_{v∈N} other_v).
-	nbrSum := make([]float64, K)
 	for _, v := range neighbors {
 		row := other[v]
 		dot := dotClamped(X, row)
@@ -242,9 +306,9 @@ func updateRow(X []float64, neighbors []int32, other [][]float64, sumOther, sumS
 		grad[k] -= sumOther[k] - nbrSum[k]
 	}
 	// Backtracking line search on the row likelihood.
-	base := rowLikelihood(X, neighbors, other, sumOther)
+	base := rowLikelihood(X, neighbors, other, sumOther, sc.nbr)
 	eta := 0.05
-	newX := make([]float64, K)
+	newX := sc.newX
 	for step := 0; step < 10; step++ {
 		for k := 0; k < K; k++ {
 			v := X[k] + eta*grad[k]
@@ -256,9 +320,9 @@ func updateRow(X []float64, neighbors []int32, other [][]float64, sumOther, sumS
 			}
 			newX[k] = v
 		}
-		if l := rowLikelihood(newX, neighbors, other, sumOther); l > base {
+		if l := rowLikelihood(newX, neighbors, other, sumOther, sc.nbr); l > base {
 			for k := 0; k < K; k++ {
-				sumSelf[k] += newX[k] - X[k]
+				sc.diff[k] = newX[k] - X[k]
 				X[k] = newX[k]
 			}
 			return l
@@ -269,9 +333,12 @@ func updateRow(X []float64, neighbors []int32, other [][]float64, sumOther, sumS
 }
 
 // rowLikelihood computes Σ_{v∈N} log(1−e^{−X·other_v}) − X·(sumOther − Σ_{v∈N} other_v).
-func rowLikelihood(X []float64, neighbors []int32, other [][]float64, sumOther []float64) float64 {
+// nbr is a caller-provided scratch buffer of length len(X).
+func rowLikelihood(X []float64, neighbors []int32, other [][]float64, sumOther, nbr []float64) float64 {
 	var l float64
-	nbr := make([]float64, len(X))
+	for k := range nbr {
+		nbr[k] = 0
+	}
 	for _, v := range neighbors {
 		row := other[v]
 		dot := dotClamped(X, row)

@@ -1,0 +1,67 @@
+package community
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestCoDAParallelEquivalence asserts the parallelized block-coordinate
+// sweeps are bit-identical to the serial path: the full membership
+// matrices F and H (and hence the likelihood trajectory that drives
+// convergence) must match exactly between workers=1 and workers=4.
+func TestCoDAParallelEquivalence(t *testing.T) {
+	b, _ := plantedGraph(4, 14, 9, 0.8, 0.1, 6)
+	fit := func(workers int) ([][]float64, [][]float64) {
+		c := &CoDA{K: 4, Seed: 11, Workers: workers}
+		F, H, err := c.fit(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return F, H
+	}
+	F1, H1 := fit(1)
+	F4, H4 := fit(4)
+	compare := func(name string, a, b [][]float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: row count %d != %d", name, len(a), len(b))
+		}
+		for i := range a {
+			for k := range a[i] {
+				if math.Float64bits(a[i][k]) != math.Float64bits(b[i][k]) {
+					t.Fatalf("%s[%d][%d]: %v != %v", name, i, k, a[i][k], b[i][k])
+				}
+			}
+		}
+	}
+	compare("F", F1, F4)
+	compare("H", H1, H4)
+}
+
+// TestCoDADetectWorkerInvariant checks the full Detect pipeline returns
+// identical community assignments for every worker count.
+func TestCoDADetectWorkerInvariant(t *testing.T) {
+	b, _ := plantedGraph(3, 12, 8, 0.85, 0.05, 8)
+	var base *Assignment
+	for _, workers := range []int{1, 2, 4} {
+		a, err := (&CoDA{K: 3, Seed: 5, Workers: workers}).Detect(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = a
+			continue
+		}
+		if a.NumCommunities() != base.NumCommunities() {
+			t.Fatalf("workers=%d: %d communities, want %d", workers, a.NumCommunities(), base.NumCommunities())
+		}
+		for k := range base.Investors {
+			got := fmt.Sprint(a.Investors[k])
+			want := fmt.Sprint(base.Investors[k])
+			if got != want {
+				t.Fatalf("workers=%d community %d: %s != %s", workers, k, got, want)
+			}
+		}
+	}
+}

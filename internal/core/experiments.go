@@ -83,11 +83,18 @@ type CommunitiesResult struct {
 
 // RunCommunities applies the paper's pipeline: filter to investors with
 // at least minDeg investments (the paper uses 4), then run CoDA with K
-// communities.
+// communities. Detection runs on the process-default worker pool.
 func RunCommunities(b *graph.Bipartite, minDeg, k int, seed int64) (*CommunitiesResult, error) {
+	return RunCommunitiesWorkers(b, minDeg, k, seed, 0)
+}
+
+// RunCommunitiesWorkers is RunCommunities under an explicit worker bound
+// (<= 0 selects the process-default pool). The fit is bit-identical for
+// every worker count.
+func RunCommunitiesWorkers(b *graph.Bipartite, minDeg, k int, seed int64, workers int) (*CommunitiesResult, error) {
 	filtered := b.FilterLeftMinDegree(minDeg)
 	filtered.SortAdjacency()
-	coda := &community.CoDA{K: k, Seed: seed}
+	coda := &community.CoDA{K: k, Seed: seed, Workers: workers}
 	a, err := coda.Detect(filtered)
 	if err != nil {
 		return nil, err
@@ -149,8 +156,9 @@ func RunFig4(cr *CommunitiesResult, topN, globalPairs int, seed int64) (*Fig4Res
 			res.MaxShared = e.Max()
 		}
 	}
-	rng := rand.New(rand.NewSource(seed))
-	sample, err := metrics.GlobalPairSample(cr.Filtered, globalPairs, rng)
+	// Counter-based parallel sampling on the process-default pool; the
+	// sample (and thus the CDF) is identical for every worker count.
+	sample, err := metrics.GlobalPairSampleParallel(cr.Filtered, globalPairs, seed, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"crowdscope/internal/parallel"
 )
 
 // Dataset is a lazy, partitioned collection of T. Construct with FromSlice
@@ -22,68 +24,43 @@ type Dataset[T any] struct {
 	err    error
 }
 
-// Executor bounds the parallelism of dataset actions. The zero value is
-// not usable; obtain one from NewExecutor or use the package default.
+// Executor bounds the parallelism of dataset actions. It is a thin
+// wrapper over the shared parallel.Pool, so dataset partitions, the graph
+// kernels and the sampled metrics all honor the same concurrency knob
+// (parallel.SetDefaultWorkers). The zero value tracks the process-default
+// pool; obtain a fixed-width executor from NewExecutor.
 type Executor struct {
-	workers int
+	pool *parallel.Pool
 }
 
 // NewExecutor returns an executor running at most workers partition tasks
-// concurrently; workers <= 0 selects GOMAXPROCS.
+// concurrently; workers <= 0 tracks the process-default pool.
 func NewExecutor(workers int) *Executor {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		return &Executor{}
 	}
-	return &Executor{workers: workers}
+	return &Executor{pool: parallel.New(workers)}
+}
+
+// poolOf resolves the executor's pool, following the process default when
+// none was fixed at construction (so a later SetDefaultWorkers call is
+// picked up by existing executors).
+func (ex *Executor) poolOf() *parallel.Pool {
+	if ex.pool != nil {
+		return ex.pool
+	}
+	return parallel.Default()
 }
 
 // Workers returns the executor's concurrency bound.
-func (ex *Executor) Workers() int { return ex.workers }
+func (ex *Executor) Workers() int { return ex.poolOf().Workers() }
 
 var defaultExecutor = NewExecutor(0)
 
 // eachPartition runs f over the indices [0, n) with bounded parallelism,
 // collecting the first error.
 func (ex *Executor) eachPartition(n int, f func(i int) error) error {
-	if n == 0 {
-		return nil
-	}
-	workers := ex.workers
-	if workers > n {
-		workers = n
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if err != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if e := f(i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return err
+	return ex.poolOf().EachErr(n, f)
 }
 
 // materialize runs the DAG below this dataset, honoring Cache.

@@ -164,7 +164,15 @@ func plantCommunitiesAndInvestments(w *World, rng *rand.Rand) error {
 				pool = append(pool, inv)
 			}
 		}
+		// Iterate leads in sorted order: ranging over the map would
+		// consume rng draws in map-iteration order and make the world
+		// nondeterministic for a fixed seed.
+		leads := make([]int32, 0, len(leadSet))
 		for lead := range leadSet {
+			leads = append(leads, lead)
+		}
+		sort.Slice(leads, func(i, j int) bool { return leads[i] < leads[j] })
+		for _, lead := range leads {
 			nb := 2 + rng.Intn(2*cfg.SyndicateBackers)
 			synd := &Syndicate{Lead: lead}
 			for _, pi := range stats.ReservoirSample(rng, len(pool), nb) {
@@ -179,8 +187,6 @@ func plantCommunitiesAndInvestments(w *World, rng *rand.Rand) error {
 				w.Syndicates = append(w.Syndicates, synd)
 			}
 		}
-		// Deterministic order (map iteration above randomizes it).
-		sort.Slice(w.Syndicates, func(i, j int) bool { return w.Syndicates[i].Lead < w.Syndicates[j].Lead })
 	}
 
 	// 3. Route investment draws. Global draws mix preferential attachment

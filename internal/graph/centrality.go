@@ -5,6 +5,17 @@ package graph
 // ("a high measure of centrality would indicate the ability of a firm to
 // bridge investors to potential customers"). This file implements the
 // standard suite over the Directed graph.
+//
+// The heavy kernels (Brandes betweenness, harmonic closeness, PageRank)
+// decompose per source / per node-range and run on the shared
+// parallel.Pool. Every parallel path is deterministic: results are
+// bit-identical for any worker count because floating-point reductions
+// happen in a fixed order (per-source merges serialized in source order
+// via Pool.Ordered, node-range partials folded in range order). The
+// no-argument methods use the process-default pool; the *Workers variants
+// take an explicit bound (<= 0 selects the default pool).
+
+import "crowdscope/internal/parallel"
 
 // DegreeCentrality returns (in+out degree) / (n-1) per node; 0 for n <= 1.
 func (g *Directed) DegreeCentrality() []float64 {
@@ -24,65 +35,152 @@ func (g *Directed) DegreeCentrality() []float64 {
 // out-edges: sum over reachable targets of 1/d(u,t), normalized by (n-1).
 // Harmonic closeness handles disconnected graphs gracefully.
 func (g *Directed) ClosenessCentrality() []float64 {
+	return g.ClosenessCentralityWorkers(0)
+}
+
+// ClosenessCentralityWorkers is ClosenessCentrality under an explicit
+// worker bound. Sources are independent (each writes only its own slot),
+// so the result is identical for every worker count.
+func (g *Directed) ClosenessCentralityWorkers(workers int) []float64 {
 	n := g.NumNodes()
 	out := make([]float64, n)
 	if n <= 1 {
 		return out
 	}
 	denom := float64(n - 1)
-	for s := int32(0); int(s) < n; s++ {
-		dist := g.ShortestPathLengths(s)
+	csr := g.OutCSR()
+	pool := parallel.New(workers)
+	scratch := make([]*bfsScratch, pool.WorkersFor(n))
+	for i := range scratch {
+		scratch[i] = newBFSScratch(n)
+	}
+	pool.EachWorker(n, func(w, s int) {
+		sc := scratch[w]
+		sc.bfs(csr, int32(s))
 		var sum float64
-		for t, d := range dist {
-			if int32(t) == s || d <= 0 {
+		for t, d := range sc.dist {
+			if int32(t) == int32(s) || d <= 0 {
 				continue
 			}
 			sum += 1 / float64(d)
 		}
 		out[s] = sum / denom
-	}
+	})
 	return out
+}
+
+// bfsScratch holds one worker's BFS state, reused across sources.
+type bfsScratch struct {
+	dist  []int32
+	queue []int32
+}
+
+func newBFSScratch(n int) *bfsScratch {
+	return &bfsScratch{dist: make([]int32, n), queue: make([]int32, 0, n)}
+}
+
+// bfs fills sc.dist with hop counts from s (-1 when unreachable).
+func (sc *bfsScratch) bfs(csr *CSR, s int32) {
+	for i := range sc.dist {
+		sc.dist[i] = -1
+	}
+	sc.dist[s] = 0
+	sc.queue = append(sc.queue[:0], s)
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		du := sc.dist[u]
+		for _, v := range csr.Row(u) {
+			if sc.dist[v] < 0 {
+				sc.dist[v] = du + 1
+				sc.queue = append(sc.queue, v)
+			}
+		}
+	}
 }
 
 // PageRank computes PageRank over out-edges with the given damping factor
 // and iteration/tolerance limits. Dangling-node mass is redistributed
 // uniformly. Scores sum to 1.
 func (g *Directed) PageRank(damping float64, maxIter int, tol float64) []float64 {
+	return g.PageRankWorkers(damping, maxIter, tol, 0)
+}
+
+// pageRankChunk is the fixed node-range size PageRank partitions over.
+// Chunk boundaries are independent of the worker count, and chunk
+// partials (dangling mass, convergence delta) fold in chunk order, so
+// results are bit-identical for every worker count.
+const pageRankChunk = 2048
+
+// PageRankWorkers is PageRank under an explicit worker bound. The kernel
+// is pull-based: each node gathers rank/outdegree from its in-neighbors
+// over the cache-local InCSR view, making node ranges embarrassingly
+// parallel with no scatter races.
+func (g *Directed) PageRankWorkers(damping float64, maxIter int, tol float64, workers int) []float64 {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil
+	}
+	inCSR := g.InCSR()
+	outDeg := make([]float64, n)
+	for i := range outDeg {
+		outDeg[i] = float64(len(g.out[i]))
 	}
 	rank := make([]float64, n)
 	next := make([]float64, n)
 	for i := range rank {
 		rank[i] = 1 / float64(n)
 	}
-	for iter := 0; iter < maxIter; iter++ {
-		var dangling float64
-		for i := range next {
-			next[i] = 0
+	pool := parallel.New(workers)
+	nChunks := (n + pageRankChunk - 1) / pageRankChunk
+	dangParts := make([]float64, nChunks)
+	deltaParts := make([]float64, nChunks)
+	bounds := func(c int) (int32, int32) {
+		lo := c * pageRankChunk
+		hi := lo + pageRankChunk
+		if hi > n {
+			hi = n
 		}
-		for u := 0; u < n; u++ {
-			if len(g.out[u]) == 0 {
-				dangling += rank[u]
-				continue
+		return int32(lo), int32(hi)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		pool.Each(nChunks, func(c int) {
+			lo, hi := bounds(c)
+			var d float64
+			for u := lo; u < hi; u++ {
+				if outDeg[u] == 0 {
+					d += rank[u]
+				}
 			}
-			share := rank[u] / float64(len(g.out[u]))
-			for _, v := range g.out[u] {
-				next[v] += share
-			}
+			dangParts[c] = d
+		})
+		var dangling float64
+		for _, d := range dangParts {
+			dangling += d
 		}
 		base := (1-damping)/float64(n) + damping*dangling/float64(n)
-		var delta float64
-		for i := range next {
-			nv := base + damping*next[i]
-			if d := nv - rank[i]; d >= 0 {
-				delta += d
-			} else {
-				delta -= d
+		pool.Each(nChunks, func(c int) {
+			lo, hi := bounds(c)
+			var dl float64
+			for v := lo; v < hi; v++ {
+				var sum float64
+				for _, u := range inCSR.Row(v) {
+					sum += rank[u] / outDeg[u]
+				}
+				nv := base + damping*sum
+				if d := nv - rank[v]; d >= 0 {
+					dl += d
+				} else {
+					dl -= d
+				}
+				next[v] = nv
 			}
-			rank[i] = nv
+			deltaParts[c] = dl
+		})
+		var delta float64
+		for _, d := range deltaParts {
+			delta += d
 		}
+		rank, next = next, rank
 		if delta < tol {
 			break
 		}
@@ -91,56 +189,106 @@ func (g *Directed) PageRank(damping float64, maxIter int, tol float64) []float64
 }
 
 // BetweennessCentrality computes exact betweenness via Brandes' algorithm
-// over out-edges (unweighted). O(nm) — intended for the per-community
-// subgraphs, not the full crawl graph.
+// over out-edges (unweighted). O(nm) total work, decomposed per source
+// across the shared pool — the SNAP-style parallelization that makes this
+// usable beyond the per-community subgraphs.
 func (g *Directed) BetweennessCentrality() []float64 {
+	return g.BetweennessCentralityWorkers(0)
+}
+
+// BetweennessCentralityWorkers is BetweennessCentrality under an explicit
+// worker bound. Each worker runs whole source BFS/dependency passes in
+// private scratch; per-source delta vectors merge into the global
+// accumulator serialized in source order, so the floating-point sum order
+// matches the serial algorithm exactly and the output is bit-identical
+// for every worker count.
+func (g *Directed) BetweennessCentralityWorkers(workers int) []float64 {
 	n := g.NumNodes()
 	bc := make([]float64, n)
 	if n == 0 {
 		return bc
 	}
-	dist := make([]int32, n)
-	sigma := make([]float64, n)
-	delta := make([]float64, n)
-	preds := make([][]int32, n)
-	stack := make([]int32, 0, n)
-	queue := make([]int32, 0, n)
-	for s := int32(0); int(s) < n; s++ {
-		stack = stack[:0]
-		queue = queue[:0]
-		for i := 0; i < n; i++ {
-			dist[i] = -1
-			sigma[i] = 0
-			delta[i] = 0
-			preds[i] = preds[i][:0]
-		}
-		dist[s] = 0
-		sigma[s] = 1
-		queue = append(queue, s)
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			stack = append(stack, u)
-			for _, v := range g.out[u] {
-				if dist[v] < 0 {
-					dist[v] = dist[u] + 1
-					queue = append(queue, v)
-				}
-				if dist[v] == dist[u]+1 {
-					sigma[v] += sigma[u]
-					preds[v] = append(preds[v], u)
+	csr := g.OutCSR()
+	pool := parallel.New(workers)
+	scratch := make([]*brandesScratch, pool.WorkersFor(n))
+	for i := range scratch {
+		scratch[i] = newBrandesScratch(n)
+	}
+	pool.Ordered(n,
+		func(w, s int) {
+			scratch[w].run(csr, int32(s))
+		},
+		func(w, s int) {
+			sc := scratch[w]
+			for _, node := range sc.stack {
+				if node != int32(s) {
+					bc[node] += sc.delta[node]
 				}
 			}
-		}
-		for i := len(stack) - 1; i >= 0; i-- {
-			w := stack[i]
-			for _, p := range preds[w] {
-				delta[p] += sigma[p] / sigma[w] * (1 + delta[w])
+		})
+	return bc
+}
+
+// brandesScratch holds one worker's per-source state for Brandes'
+// algorithm. Only nodes reached from the previous source (those on the
+// stack) are dirty, so resets touch O(reached) entries instead of O(n).
+type brandesScratch struct {
+	dist  []int32
+	sigma []float64
+	delta []float64
+	preds [][]int32
+	stack []int32
+	queue []int32
+}
+
+func newBrandesScratch(n int) *brandesScratch {
+	sc := &brandesScratch{
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		preds: make([][]int32, n),
+		stack: make([]int32, 0, n),
+		queue: make([]int32, 0, n),
+	}
+	for i := range sc.dist {
+		sc.dist[i] = -1
+	}
+	return sc
+}
+
+// run executes the BFS and dependency-accumulation phases for source s,
+// leaving final delta values and the visit stack for the merge phase.
+func (sc *brandesScratch) run(csr *CSR, s int32) {
+	for _, u := range sc.stack {
+		sc.dist[u] = -1
+		sc.sigma[u] = 0
+		sc.delta[u] = 0
+		sc.preds[u] = sc.preds[u][:0]
+	}
+	sc.stack = sc.stack[:0]
+	sc.queue = sc.queue[:0]
+	sc.dist[s] = 0
+	sc.sigma[s] = 1
+	sc.queue = append(sc.queue, s)
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		sc.stack = append(sc.stack, u)
+		du := sc.dist[u]
+		for _, v := range csr.Row(u) {
+			if sc.dist[v] < 0 {
+				sc.dist[v] = du + 1
+				sc.queue = append(sc.queue, v)
 			}
-			if w != s {
-				bc[w] += delta[w]
+			if sc.dist[v] == du+1 {
+				sc.sigma[v] += sc.sigma[u]
+				sc.preds[v] = append(sc.preds[v], u)
 			}
 		}
 	}
-	return bc
+	for i := len(sc.stack) - 1; i >= 0; i-- {
+		w := sc.stack[i]
+		for _, p := range sc.preds[w] {
+			sc.delta[p] += sc.sigma[p] / sc.sigma[w] * (1 + sc.delta[w])
+		}
+	}
 }

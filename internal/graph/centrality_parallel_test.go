@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomDirected builds a seeded Erdős–Rényi-ish directed graph with a
+// few disconnected stragglers and dangling nodes, exercising every
+// kernel edge case (unreachable nodes, outdegree 0, multiple shortest
+// paths).
+func randomDirected(n int, p float64, seed int64) *Directed {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewDirected(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprint("n", i))
+	}
+	for u := 0; u < n; u++ {
+		if u%17 == 0 {
+			continue // dangling node
+		}
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				g.AddEdgeIdx(int32(u), int32(v))
+			}
+		}
+	}
+	return g
+}
+
+// betweennessSerial is the pre-parallelization reference implementation,
+// kept verbatim so the equivalence tests can detect any drift in the
+// parallel kernel's reduction order.
+func betweennessSerial(g *Directed) []float64 {
+	n := g.NumNodes()
+	bc := make([]float64, n)
+	if n == 0 {
+		return bc
+	}
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	preds := make([][]int32, n)
+	stack := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	for s := int32(0); int(s) < n; s++ {
+		stack = stack[:0]
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			stack = append(stack, u)
+			for _, v := range g.out[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					preds[v] = append(preds[v], u)
+				}
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, p := range preds[w] {
+				delta[p] += sigma[p] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	return bc
+}
+
+// closenessSerial is the pre-parallelization reference implementation.
+func closenessSerial(g *Directed) []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	if n <= 1 {
+		return out
+	}
+	denom := float64(n - 1)
+	for s := int32(0); int(s) < n; s++ {
+		dist := g.ShortestPathLengths(s)
+		var sum float64
+		for t, d := range dist {
+			if int32(t) == s || d <= 0 {
+				continue
+			}
+			sum += 1 / float64(d)
+		}
+		out[s] = sum / denom
+	}
+	return out
+}
+
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: node %d differs: got %v (%#x), want %v (%#x)",
+				name, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestBetweennessParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := randomDirected(120, 0.05, seed)
+		want := betweennessSerial(g)
+		for _, workers := range []int{1, 4} {
+			got := g.BetweennessCentralityWorkers(workers)
+			bitsEqual(t, fmt.Sprintf("betweenness seed=%d workers=%d", seed, workers), got, want)
+		}
+	}
+}
+
+func TestClosenessParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		g := randomDirected(120, 0.05, seed)
+		want := closenessSerial(g)
+		for _, workers := range []int{1, 4} {
+			got := g.ClosenessCentralityWorkers(workers)
+			bitsEqual(t, fmt.Sprintf("closeness seed=%d workers=%d", seed, workers), got, want)
+		}
+	}
+}
+
+func TestPageRankParallelWorkerInvariant(t *testing.T) {
+	g := randomDirected(300, 0.03, 5)
+	want := g.PageRankWorkers(0.85, 100, 1e-10, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got := g.PageRankWorkers(0.85, 100, 1e-10, workers)
+		bitsEqual(t, fmt.Sprintf("pagerank workers=%d", workers), got, want)
+	}
+	// Sanity against the push-based formulation: same fixed point.
+	var sum float64
+	for _, v := range want {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %g", sum)
+	}
+}
+
+func TestCSRMatchesAdjacency(t *testing.T) {
+	g := randomDirected(60, 0.08, 9)
+	csr := g.OutCSR()
+	in := g.InCSR()
+	if csr.NumNodes() != g.NumNodes() || in.NumNodes() != g.NumNodes() {
+		t.Fatal("CSR node count mismatch")
+	}
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		row := csr.Row(u)
+		if len(row) != len(g.out[u]) || csr.Degree(u) != len(g.out[u]) {
+			t.Fatalf("node %d: CSR row length %d != %d", u, len(row), len(g.out[u]))
+		}
+		for i, v := range g.out[u] {
+			if row[i] != v {
+				t.Fatalf("node %d: CSR row order differs at %d", u, i)
+			}
+		}
+		inRow := in.Row(u)
+		for i, v := range g.in[u] {
+			if inRow[i] != v {
+				t.Fatalf("node %d: in-CSR row order differs at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestCSRInvalidatedOnMutation(t *testing.T) {
+	g := NewDirected(4)
+	g.AddEdge("a", "b")
+	before := g.OutCSR()
+	if before.Degree(0) != 1 {
+		t.Fatal("unexpected initial degree")
+	}
+	g.AddEdge("a", "c")
+	after := g.OutCSR()
+	if after == before {
+		t.Fatal("CSR not invalidated by AddEdge")
+	}
+	if after.Degree(0) != 2 {
+		t.Fatalf("stale CSR: degree %d, want 2", after.Degree(0))
+	}
+}

@@ -1,0 +1,60 @@
+package graph
+
+// CSR is a flattened compressed-sparse-row adjacency view: the neighbors
+// of node u occupy Targets[Offsets[u]:Offsets[u+1]]. Row order preserves
+// the graph's adjacency-list order, so algorithms that switch from
+// [][]int32 traversal to CSR traversal visit neighbors in exactly the
+// same sequence — only the memory layout changes (one contiguous array
+// instead of n separately allocated slices), which keeps the parallel
+// BFS kernels cache-local.
+type CSR struct {
+	Offsets []int64
+	Targets []int32
+}
+
+// Row returns node u's neighbor slice. The slice aliases the CSR's
+// backing array and must not be modified.
+func (c *CSR) Row(u int32) []int32 { return c.Targets[c.Offsets[u]:c.Offsets[u+1]] }
+
+// Degree returns the length of node u's row.
+func (c *CSR) Degree(u int32) int { return int(c.Offsets[u+1] - c.Offsets[u]) }
+
+// NumNodes returns the number of rows.
+func (c *CSR) NumNodes() int { return len(c.Offsets) - 1 }
+
+func buildCSR(adj [][]int32, edges int) *CSR {
+	c := &CSR{
+		Offsets: make([]int64, len(adj)+1),
+		Targets: make([]int32, 0, edges),
+	}
+	for i, row := range adj {
+		c.Offsets[i] = int64(len(c.Targets))
+		c.Targets = append(c.Targets, row...)
+	}
+	c.Offsets[len(adj)] = int64(len(c.Targets))
+	return c
+}
+
+// OutCSR returns a cached CSR view of the out-adjacency. The view is
+// rebuilt lazily after mutations; like the rest of Directed, building it
+// concurrently with mutation is not safe, but once obtained the view is
+// read-only and safe to share across goroutines.
+func (g *Directed) OutCSR() *CSR {
+	if g.csrOut == nil {
+		g.csrOut = buildCSR(g.out, g.edges)
+	}
+	return g.csrOut
+}
+
+// InCSR returns the cached CSR view of the in-adjacency.
+func (g *Directed) InCSR() *CSR {
+	if g.csrIn == nil {
+		g.csrIn = buildCSR(g.in, g.edges)
+	}
+	return g.csrIn
+}
+
+func (g *Directed) invalidateCSR() {
+	g.csrOut = nil
+	g.csrIn = nil
+}

@@ -17,6 +17,9 @@ type Directed struct {
 	// dedup guards against parallel edges without requiring sorted
 	// adjacency during construction.
 	seen map[[2]int32]struct{}
+	// Lazily built flattened adjacency views (see csr.go); dropped on
+	// every mutation.
+	csrOut, csrIn *CSR
 }
 
 // NewDirected returns an empty directed graph with capacity hints.
@@ -40,6 +43,7 @@ func (g *Directed) AddNode(label string) int32 {
 	g.index[label] = idx
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.invalidateCSR()
 	return idx
 }
 
@@ -62,6 +66,7 @@ func (g *Directed) AddEdgeIdx(u, v int32) bool {
 	g.out[u] = append(g.out[u], v)
 	g.in[v] = append(g.in[v], u)
 	g.edges++
+	g.invalidateCSR()
 	return true
 }
 
@@ -122,6 +127,7 @@ func (g *Directed) SortAdjacency() {
 		sort.Slice(g.out[i], func(a, b int) bool { return g.out[i][a] < g.out[i][b] })
 		sort.Slice(g.in[i], func(a, b int) bool { return g.in[i][a] < g.in[i][b] })
 	}
+	g.invalidateCSR()
 }
 
 // Validate checks internal invariants (every out-edge mirrored by an

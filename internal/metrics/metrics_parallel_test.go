@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"crowdscope/internal/graph"
+	"crowdscope/internal/stats"
+)
+
+func pairTestGraph(nInv, nComp, deg int, seed int64) *graph.Bipartite {
+	b := graph.NewBipartite(nInv, nComp)
+	for i := 0; i < nInv; i++ {
+		b.AddLeft(fmt.Sprint("inv", i))
+	}
+	for i := 0; i < nComp; i++ {
+		b.AddRight(fmt.Sprint("co", i))
+	}
+	// Deterministic overlapping neighborhoods: investor i invests in deg
+	// consecutive companies starting at a stride-dependent offset.
+	for i := 0; i < nInv; i++ {
+		for d := 0; d < deg; d++ {
+			b.AddEdge(fmt.Sprint("inv", i), fmt.Sprint("co", (i*3+d*7+int(seed))%nComp))
+		}
+	}
+	b.SortAdjacency()
+	return b
+}
+
+// serialPairStream mirrors what a workers=1 evaluation of the
+// counter-based stream computes, as an independent reference.
+func serialSampledAvg(b *graph.Bipartite, investors []int32, maxPairs int, seed int64) float64 {
+	n := len(investors)
+	var sum float64
+	for k := 0; k < maxPairs; k++ {
+		i, j := stats.PairAt(seed, k, n)
+		sum += float64(graph.SharedRightCount(b, investors[i], investors[j]))
+	}
+	return sum / float64(maxPairs)
+}
+
+func TestSampledAvgSharedSizeParallelWorkerInvariant(t *testing.T) {
+	b := pairTestGraph(200, 80, 6, 3)
+	investors := make([]int32, 200)
+	for i := range investors {
+		investors[i] = int32(i)
+	}
+	const maxPairs = 10000 // < 200*199/2, forces the sampled path
+	want := serialSampledAvg(b, investors, maxPairs, 42)
+	for _, workers := range []int{1, 4} {
+		got := SampledAvgSharedSizeParallel(b, investors, maxPairs, 42, workers)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("workers=%d: %v != %v", workers, got, want)
+		}
+	}
+	// Exact branch (few investors): must equal AvgSharedSize bitwise.
+	small := investors[:30]
+	exact := AvgSharedSize(b, small)
+	for _, workers := range []int{1, 4} {
+		got := SampledAvgSharedSizeParallel(b, small, maxPairs, 42, workers)
+		if math.Float64bits(got) != math.Float64bits(exact) {
+			t.Fatalf("exact branch workers=%d: %v != %v", workers, got, exact)
+		}
+	}
+}
+
+func TestGlobalPairSampleParallelWorkerInvariant(t *testing.T) {
+	b := pairTestGraph(150, 60, 5, 9)
+	want, err := GlobalPairSampleParallel(b, 9000, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 9000 {
+		t.Fatalf("sample length %d", len(want))
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := GlobalPairSampleParallel(b, 9000, 7, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+				t.Fatalf("workers=%d: sample %d differs: %v != %v", workers, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestPairAtUniformCoverage(t *testing.T) {
+	// Every ordered pair over a small population should be hit with
+	// roughly uniform frequency, and i != j always.
+	const pop = 7
+	counts := map[[2]int]int{}
+	const draws = pop * (pop - 1) * 500
+	for k := 0; k < draws; k++ {
+		i, j := stats.PairAt(11, k, pop)
+		if i == j || i < 0 || j < 0 || i >= pop || j >= pop {
+			t.Fatalf("draw %d: invalid pair (%d, %d)", k, i, j)
+		}
+		counts[[2]int{i, j}]++
+	}
+	if len(counts) != pop*(pop-1) {
+		t.Fatalf("covered %d of %d ordered pairs", len(counts), pop*(pop-1))
+	}
+	for p, c := range counts {
+		if c < 350 || c > 650 {
+			t.Errorf("pair %v drawn %d times, expected ~500", p, c)
+		}
+	}
+}

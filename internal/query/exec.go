@@ -16,19 +16,31 @@ type Result struct {
 	Rows    [][]any
 }
 
-// Run parses and executes a statement against the store.
+// Run parses and executes a statement against the store on the
+// process-default executor.
 func Run(st *store.Store, statement string) (*Result, error) {
+	return RunWith(st, statement, dataflow.NewExecutor(0))
+}
+
+// RunWith is Run under a specific dataflow executor, bounding the
+// parallelism of the filter/group stages.
+func RunWith(st *store.Store, statement string, ex *dataflow.Executor) (*Result, error) {
 	q, err := Parse(statement)
 	if err != nil {
 		return nil, err
 	}
-	return q.Execute(st)
+	return q.ExecuteWith(st, ex)
 }
 
-// Execute runs the parsed query: records stream out of the store, the
-// WHERE filter and grouping run on the dataflow engine, and ORDER BY /
-// LIMIT shape the final table.
+// Execute runs the parsed query on the process-default executor.
 func (q *Query) Execute(st *store.Store) (*Result, error) {
+	return q.ExecuteWith(st, dataflow.NewExecutor(0))
+}
+
+// ExecuteWith runs the parsed query: records stream out of the store, the
+// WHERE filter and grouping run on the dataflow engine under the given
+// executor, and ORDER BY / LIMIT shape the final table.
+func (q *Query) ExecuteWith(st *store.Store, ex *dataflow.Executor) (*Result, error) {
 	// Load the namespace into generic JSON records.
 	var records []map[string]any
 	err := st.Scan(q.namespace, func(payload []byte) error {
@@ -70,7 +82,7 @@ func (q *Query) Execute(st *store.Store) (*Result, error) {
 	}
 
 	if aggregated {
-		groups, err := q.group(ds)
+		groups, err := q.group(ds, ex)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +98,7 @@ func (q *Query) Execute(st *store.Store) (*Result, error) {
 			res.Rows = append(res.Rows, out)
 		}
 	} else {
-		collected, err := ds.Collect()
+		collected, err := ds.CollectWith(ex)
 		if err != nil {
 			return nil, err
 		}
@@ -111,9 +123,9 @@ func (q *Query) Execute(st *store.Store) (*Result, error) {
 // group partitions filtered records by the GROUP BY key (or one global
 // group) using a dataflow shuffle, returning groups in deterministic key
 // order.
-func (q *Query) group(ds *dataflow.Dataset[map[string]any]) ([][]map[string]any, error) {
+func (q *Query) group(ds *dataflow.Dataset[map[string]any], ex *dataflow.Executor) ([][]map[string]any, error) {
 	if len(q.groupBy) == 0 {
-		rows, err := ds.Collect()
+		rows, err := ds.CollectWith(ex)
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +139,7 @@ func (q *Query) group(ds *dataflow.Dataset[map[string]any]) ([][]map[string]any,
 		}
 		return sb.String()
 	})
-	grouped, err := dataflow.GroupByKey(keyed).Collect()
+	grouped, err := dataflow.GroupByKey(keyed).CollectWith(ex)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, and run the full test suite under the race
+# detector. The parallel kernels' equivalence tests make -race meaningful:
+# every pool-backed code path runs at multiple worker counts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
