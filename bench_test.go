@@ -383,7 +383,7 @@ func BenchmarkA1TokenRotation(b *testing.B) {
 				}
 				for _, url := range twitterStartups {
 					username := url[len("https://twitter.com/"):]
-					if _, err := client.TwitterUser(username); err != nil {
+					if _, err := client.TwitterUser(context.Background(), username); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -6,9 +6,16 @@
 // Usage:
 //
 //	crowdcrawl -seed 42 -scale 0.01 -store ./data [-snapshots 3 -days 7]
+//	crowdcrawl -store ./data -fault-rate 0.05 -fault-seed 7   # chaos run
+//	crowdcrawl -store ./data -fault-rate 0.05 -fault-seed 7 -resume
 //
 // With -snapshots > 1 the world evolves -days simulated days between
 // crawls, producing the longitudinal dataset of the paper's Section 7.
+// Crawl progress is checkpointed into the store after every BFS round
+// and augmentation batch; -resume continues an interrupted run from its
+// latest checkpoint. -fault-rate injects a deterministic mix of 5xx
+// errors, 429 bursts, slow responses, truncated bodies and connection
+// resets whose schedule replays exactly for a given -fault-seed.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"log"
 
 	"crowdscope"
+	"crowdscope/internal/apiserver"
 )
 
 func main() {
@@ -30,14 +38,33 @@ func main() {
 	days := flag.Int("days", 7, "simulated days between snapshots")
 	workers := flag.Int("workers", 8, "parallel crawler workers")
 	failures := flag.Float64("failures", 0, "injected API failure rate [0,1)")
+	faultRate := flag.Float64("fault-rate", 0, "deterministic per-kind fault rate [0,0.2)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
+	resume := flag.Bool("resume", false, "resume the crawl from its latest checkpoint")
 	flag.Parse()
 
+	var faults *apiserver.FaultConfig
+	if *faultRate > 0 {
+		faults = &apiserver.FaultConfig{
+			Seed: *faultSeed,
+			Default: apiserver.FaultProfile{
+				ServerError: *faultRate,
+				RateLimit:   *faultRate / 2,
+				Slow:        *faultRate / 2,
+				Truncate:    *faultRate / 2,
+				Reset:       *faultRate / 2,
+			},
+		}
+	}
 	p, err := crowdscope.NewPipeline(crowdscope.PipelineConfig{
 		Seed:        *seed,
 		Scale:       *scale,
 		StoreDir:    *storeDir,
 		Workers:     *workers,
 		FailureRate: *failures,
+		Faults:      faults,
+		Checkpoint:  true,
+		Resume:      *resume,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -56,8 +83,15 @@ func main() {
 		fmt.Printf("  crunchbase: %d by link, %d by search, %d ambiguous, %d missing\n",
 			st.CBByLink, st.CBBySearch, st.CBAmbiguous, st.CBMissing)
 		fmt.Printf("  facebook %d, twitter %d profiles\n", st.FacebookProfiles, st.TwitterProfiles)
-		fmt.Printf("  http: %d requests, %d retries, %d rate-limit hits\n",
-			st.Client.Requests, st.Client.Retries, st.Client.RateLimitHits)
+		fmt.Printf("  http: %d requests, %d retries, %d body re-fetches, %d rate-limit hits\n",
+			st.Client.Requests, st.Client.Retries, st.Client.BodyRetries, st.Client.RateLimitHits)
+		if st.Resumed {
+			fmt.Printf("  resumed from checkpoint (%d checkpoints over the crawl's lifetime)\n", st.Checkpoints)
+		}
+		if fs := p.Server.FaultStats(); fs.Total() > 0 {
+			fmt.Printf("  faults injected: %d 5xx, %d 429, %d slow, %d truncated, %d resets\n",
+				fs.ServerErrors, fs.RateLimits, fs.Slows, fs.Truncates, fs.Resets)
+		}
 		if s+1 < *snapshots {
 			p.AdvanceDays(*days)
 			fmt.Printf("  world advanced %d days\n", *days)

@@ -49,6 +49,16 @@ type PipelineConfig struct {
 	Workers int
 	// FailureRate injects transient API errors, exercising retries.
 	FailureRate float64
+	// Faults configures the deterministic fault injector (5xx, 429
+	// bursts, slow responses, truncated bodies, connection resets); a
+	// given FaultConfig seed replays the exact same fault schedule.
+	Faults *apiserver.FaultConfig
+	// Checkpoint persists crawl progress after every BFS round and
+	// augmentation batch so interrupted crawls can resume.
+	Checkpoint bool
+	// Resume continues the next Crawl from its latest checkpoint
+	// (implies Checkpoint).
+	Resume bool
 	// TwitterLimit overrides the simulated Twitter rate window. The
 	// default is effectively unlimited because the pipeline runs in
 	// simulated time; the token-rotation ablation reinstates the real
@@ -98,6 +108,7 @@ func NewPipelineFromWorld(world *ecosystem.World, cfg PipelineConfig) (*Pipeline
 	srv := apiserver.New(world, apiserver.Options{
 		Tokens:       cfg.Tokens,
 		FailureRate:  cfg.FailureRate,
+		Faults:       cfg.Faults,
 		Seed:         cfg.Seed,
 		TwitterLimit: cfg.TwitterLimit,
 	})
@@ -134,15 +145,46 @@ func NewPipelineFromWorld(world *ecosystem.World, cfg PipelineConfig) (*Pipeline
 func (p *Pipeline) BaseURL() string { return p.ts.URL }
 
 // Crawl runs a full collection (BFS + augmentation) and persists it as
-// the next snapshot, returning the crawl summary.
+// the next snapshot, returning the crawl summary. With Checkpoint (or
+// Resume) configured, progress is checkpointed into a per-snapshot
+// namespace and a resumed crawl continues where the last one stopped.
 func (p *Pipeline) Crawl(ctx context.Context, snapshot int) (*crawler.Snapshot, error) {
 	cr := &crawler.Crawler{Client: p.client, Workers: p.Config.Workers}
+	alreadyPersisted := false
+	if p.Config.Checkpoint || p.Config.Resume {
+		ns := fmt.Sprintf("checkpoint/snap-%03d", snapshot)
+		cr.Checkpoint = &crawler.CheckpointConfig{
+			Store:     p.Store,
+			Namespace: ns,
+			Resume:    p.Config.Resume,
+		}
+		if p.Config.Resume {
+			if cp, ok, err := crawler.LoadCheckpoint(p.Store, ns); err != nil {
+				return nil, err
+			} else if ok && cp.Phase == crawler.PhasePersisted {
+				alreadyPersisted = true
+			}
+		}
+	}
 	snap, err := cr.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
+	if alreadyPersisted {
+		return snap, nil
+	}
 	if err := crawler.Persist(p.Store, snap, snapshot); err != nil {
 		return nil, err
+	}
+	if cr.Checkpoint != nil {
+		marker := &crawler.Checkpoint{
+			Seq:   snap.Stats.Checkpoints,
+			Phase: crawler.PhasePersisted,
+			Snap:  snap,
+		}
+		if err := crawler.SaveCheckpoint(p.Store, cr.Checkpoint.Namespace, marker); err != nil {
+			return nil, err
+		}
 	}
 	return snap, nil
 }

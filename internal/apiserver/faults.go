@@ -1,0 +1,259 @@
+package apiserver
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultProfile gives the per-request probability of each injected fault
+// kind. Probabilities are evaluated in fixed order (server error, rate
+// limit, slow, truncate, reset) against a single uniform draw, so their
+// sum must stay below 1; the remainder is the healthy-response rate.
+type FaultProfile struct {
+	// ServerError responds 503 with a JSON error body.
+	ServerError float64
+	// RateLimit starts a burst of BurstLen consecutive 429 responses
+	// carrying a Retry-After header.
+	RateLimit float64
+	// Slow delays the (otherwise healthy) response by SlowDelay.
+	Slow float64
+	// Truncate serves a 200 whose JSON body is cut in half mid-record,
+	// exercising the client's malformed-body re-fetch.
+	Truncate float64
+	// Reset hijacks the connection and closes it without writing a
+	// response, which the client sees as a transport error.
+	Reset float64
+}
+
+func (p FaultProfile) zero() bool {
+	return p.ServerError == 0 && p.RateLimit == 0 && p.Slow == 0 && p.Truncate == 0 && p.Reset == 0
+}
+
+// FaultConfig drives the deterministic fault injector. Every decision is
+// a pure function of (Seed, method, path, call#): the nth request to a
+// given endpoint draws the nth value of a SplitMix64 stream keyed on
+// (Seed, method, path), so a given seed replays the exact same fault
+// schedule per endpoint regardless of cross-endpoint interleaving.
+type FaultConfig struct {
+	// Seed keys the fault schedule.
+	Seed int64
+	// Default applies to every path without a PerPath override.
+	Default FaultProfile
+	// PerPath overrides the profile for matching paths: an exact match
+	// wins, otherwise the longest key that is a prefix of the request
+	// path (e.g. "/twitter/").
+	PerPath map[string]FaultProfile
+	// BurstLen is how many consecutive requests a triggered rate-limit
+	// fault rejects. Default 2.
+	BurstLen int
+	// RetryAfterSecs is the Retry-After value advertised on injected
+	// 429s. Default 1.
+	RetryAfterSecs int
+	// SlowDelay is the latency added by slow faults. Default 20ms.
+	SlowDelay time.Duration
+}
+
+func (c *FaultConfig) fill() {
+	if c.BurstLen <= 0 {
+		c.BurstLen = 2
+	}
+	if c.RetryAfterSecs <= 0 {
+		c.RetryAfterSecs = 1
+	}
+	if c.SlowDelay <= 0 {
+		c.SlowDelay = 20 * time.Millisecond
+	}
+}
+
+// FaultStats counts injected faults by kind.
+type FaultStats struct {
+	ServerErrors int64
+	RateLimits   int64
+	Slows        int64
+	Truncates    int64
+	Resets       int64
+}
+
+// Total sums all injected faults.
+func (f FaultStats) Total() int64 {
+	return f.ServerErrors + f.RateLimits + f.Slows + f.Truncates + f.Resets
+}
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultServerError
+	faultRateLimit
+	faultSlow
+	faultTruncate
+	faultReset
+)
+
+// splitmix64 is the SplitMix64 output function: a bijective mixer whose
+// outputs over sequential inputs pass BigCrush, which makes counter-based
+// (seed, stream, position) → uniform draws trivially reproducible.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// faultUniform returns the call#'th uniform draw in [0,1) of the stream
+// keyed on (seed, method, path). Exposed as a function (not a method) so
+// tests can assert the schedule is a pure function of its inputs.
+func faultUniform(seed int64, method, path string, call uint64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(method))
+	h.Write([]byte{' '})
+	h.Write([]byte(path))
+	stream := splitmix64(uint64(seed) ^ h.Sum64())
+	return float64(splitmix64(stream+call)>>11) / (1 << 53)
+}
+
+// faultInjector holds the per-endpoint call counters and burst state that
+// turn the pure schedule into HTTP behaviour.
+type faultInjector struct {
+	cfg FaultConfig
+
+	mu    sync.Mutex
+	calls map[string]uint64 // per "METHOD path" call counter
+	burst map[string]int    // remaining consecutive 429s per endpoint
+	stats FaultStats
+}
+
+func newFaultInjector(cfg FaultConfig) *faultInjector {
+	cfg.fill()
+	return &faultInjector{
+		cfg:   cfg,
+		calls: map[string]uint64{},
+		burst: map[string]int{},
+	}
+}
+
+// profileFor resolves the effective profile for a path: exact PerPath
+// match, else longest prefix match, else Default.
+func (fi *faultInjector) profileFor(path string) FaultProfile {
+	if p, ok := fi.cfg.PerPath[path]; ok {
+		return p
+	}
+	best := ""
+	for k := range fi.cfg.PerPath {
+		if strings.HasPrefix(path, k) && len(k) > len(best) {
+			best = k
+		}
+	}
+	if best != "" {
+		return fi.cfg.PerPath[best]
+	}
+	return fi.cfg.Default
+}
+
+// decide consumes one call of the endpoint's schedule and returns the
+// fault to inject, updating burst state and stats.
+func (fi *faultInjector) decide(method, path string) faultKind {
+	key := method + " " + path
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	n := fi.calls[key]
+	fi.calls[key]++
+	if fi.burst[key] > 0 {
+		fi.burst[key]--
+		fi.stats.RateLimits++
+		return faultRateLimit
+	}
+	p := fi.profileFor(path)
+	if p.zero() {
+		return faultNone
+	}
+	u := faultUniform(fi.cfg.Seed, method, path, n)
+	switch {
+	case u < p.ServerError:
+		fi.stats.ServerErrors++
+		return faultServerError
+	case u < p.ServerError+p.RateLimit:
+		fi.burst[key] = fi.cfg.BurstLen - 1
+		fi.stats.RateLimits++
+		return faultRateLimit
+	case u < p.ServerError+p.RateLimit+p.Slow:
+		fi.stats.Slows++
+		return faultSlow
+	case u < p.ServerError+p.RateLimit+p.Slow+p.Truncate:
+		fi.stats.Truncates++
+		return faultTruncate
+	case u < p.ServerError+p.RateLimit+p.Slow+p.Truncate+p.Reset:
+		fi.stats.Resets++
+		return faultReset
+	}
+	return faultNone
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (fi *faultInjector) Stats() FaultStats {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.stats
+}
+
+// withFaults wraps the real handler with the injector. Fault responses
+// short-circuit before authorization, like infrastructure failures in
+// front of the real services would.
+func (fi *faultInjector) withFaults(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch fi.decide(r.Method, r.URL.Path) {
+		case faultServerError:
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "injected transient failure"})
+		case faultRateLimit:
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", fi.cfg.RetryAfterSecs))
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "injected rate limit"})
+		case faultSlow:
+			time.Sleep(fi.cfg.SlowDelay)
+			next.ServeHTTP(w, r)
+		case faultTruncate:
+			rec := httptest.NewRecorder()
+			next.ServeHTTP(rec, r)
+			body := rec.Body.Bytes()
+			if rec.Code != http.StatusOK || len(body) < 2 {
+				// Nothing worth corrupting; relay the real response.
+				copyHeader(w.Header(), rec.Header())
+				w.WriteHeader(rec.Code)
+				w.Write(body)
+				return
+			}
+			copyHeader(w.Header(), rec.Header())
+			w.Header().Del("Content-Length")
+			w.WriteHeader(http.StatusOK)
+			w.Write(body[:len(body)/2])
+		case faultReset:
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				// Recorder-style writers cannot drop the connection;
+				// degrade to a server error so the client still retries.
+				writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "injected reset"})
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "injected reset"})
+				return
+			}
+			conn.Close()
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package apiserver
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutable clock for window tests; no real sleeps anywhere.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// TestFixedWindowRollover drives one token through allow/deny/rollover
+// transitions with a table of clock advances.
+func TestFixedWindowRollover(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	fw := newFixedWindow(3, time.Minute, clk.Now)
+	steps := []struct {
+		advance    time.Duration
+		wantOK     bool
+		wantRetry  time.Duration
+		wantRemain int // remaining AFTER the allow call
+	}{
+		{0, true, 0, 2},                                // 1st call opens the window
+		{10 * time.Second, true, 0, 1},                 // 2nd
+		{10 * time.Second, true, 0, 0},                 // 3rd exhausts the limit
+		{10 * time.Second, false, 30 * time.Second, 0}, // denied; 30s left of the window
+		{29 * time.Second, false, time.Second, 0},      // still denied at 59s
+		{2 * time.Second, true, 0, 2},                  // 61s: rollover, fresh window
+		{0, true, 0, 1},
+	}
+	for i, st := range steps {
+		clk.Advance(st.advance)
+		ok, retry := fw.allow("tok")
+		if ok != st.wantOK {
+			t.Fatalf("step %d: allow = %v, want %v", i, ok, st.wantOK)
+		}
+		if retry != st.wantRetry {
+			t.Fatalf("step %d: retryAfter = %v, want %v", i, retry, st.wantRetry)
+		}
+		if got := fw.remaining("tok"); got != st.wantRemain {
+			t.Fatalf("step %d: remaining = %d, want %d", i, got, st.wantRemain)
+		}
+	}
+}
+
+func TestFixedWindowRemainingFreshAndRolledOver(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(100, 0)}
+	fw := newFixedWindow(5, time.Minute, clk.Now)
+	if got := fw.remaining("unseen"); got != 5 {
+		t.Fatalf("fresh token remaining = %d", got)
+	}
+	for i := 0; i < 5; i++ {
+		fw.allow("tok")
+	}
+	if got := fw.remaining("tok"); got != 0 {
+		t.Fatalf("exhausted remaining = %d", got)
+	}
+	// Remaining resets as soon as the clock passes the window even
+	// without another allow call.
+	clk.Advance(time.Minute)
+	if got := fw.remaining("tok"); got != 5 {
+		t.Fatalf("rolled-over remaining = %d", got)
+	}
+}
+
+func TestFixedWindowTokensAreIndependent(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	fw := newFixedWindow(1, time.Minute, clk.Now)
+	if ok, _ := fw.allow("a"); !ok {
+		t.Fatal("first call on a denied")
+	}
+	if ok, _ := fw.allow("a"); ok {
+		t.Fatal("second call on a allowed")
+	}
+	if ok, _ := fw.allow("b"); !ok {
+		t.Fatal("b should have its own window")
+	}
+}
+
+// TestRetryAfterHeaderValues checks the wire format: the handler rounds
+// the remaining window up to whole seconds (int(seconds)+1).
+func TestRetryAfterHeaderValues(t *testing.T) {
+	w := testWorld(t)
+	var username string
+	for _, p := range w.Twitter {
+		username = p.Username
+		break
+	}
+	if username == "" {
+		t.Skip("world has no twitter profiles")
+	}
+	cases := []struct {
+		name       string
+		advance    time.Duration
+		wantHeader string
+	}{
+		{"full window left", 0, "31"},
+		{"10s elapsed", 10 * time.Second, "21"},
+		{"half second granularity", 500 * time.Millisecond, "21"}, // 19.5s -> int()+1 = 20? see below
+	}
+	// The header is int(retry.Seconds())+1, so 19.5s remaining gives 20.
+	cases[2].wantHeader = "20"
+
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	_, ts := newServer(t, Options{
+		Tokens:        []string{"ra"},
+		TwitterLimit:  1,
+		TwitterWindow: 30 * time.Second,
+		Clock:         clk.Now,
+	})
+	url := ts.URL + "/twitter/users/show?screen_name=" + urlQuery(username)
+	if code := get(t, url, "ra", nil); code != http.StatusOK {
+		t.Fatalf("priming call code %d", code)
+	}
+	for _, tc := range cases {
+		clk.Advance(tc.advance)
+		req, _ := http.NewRequest("GET", url, nil)
+		req.Header.Set("Authorization", "Bearer ra")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s: code %d, want 429", tc.name, resp.StatusCode)
+		}
+		got := resp.Header.Get("Retry-After")
+		if got != tc.wantHeader {
+			t.Fatalf("%s: Retry-After = %q, want %q", tc.name, got, tc.wantHeader)
+		}
+		// The advertised wait must be a parseable positive integer the
+		// crawler can sleep on.
+		if secs, err := strconv.Atoi(got); err != nil || secs <= 0 {
+			t.Fatalf("%s: unusable Retry-After %q", tc.name, got)
+		}
+	}
+	// After the window passes, the token works again with no header.
+	clk.Advance(time.Minute)
+	if code := get(t, url, "ra", nil); code != http.StatusOK {
+		t.Fatalf("post-rollover code %d", code)
+	}
+}
+
+func TestRateLimitStatusTracksWindow(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	_, ts := newServer(t, Options{
+		Tokens:        []string{"st"},
+		TwitterLimit:  4,
+		TwitterWindow: time.Minute,
+		Clock:         clk.Now,
+	})
+	w := testWorld(t)
+	var username string
+	for _, p := range w.Twitter {
+		username = p.Username
+		break
+	}
+	var status TwitterStatusResponse
+	for i := 0; i < 3; i++ {
+		get(t, ts.URL+"/twitter/users/show?screen_name="+urlQuery(username), "st", nil)
+	}
+	get(t, ts.URL+"/twitter/rate_limit_status", "st", &status)
+	if status.Remaining != 1 {
+		t.Fatalf("remaining = %d, want 1", status.Remaining)
+	}
+	clk.Advance(61 * time.Second)
+	get(t, ts.URL+"/twitter/rate_limit_status", "st", &status)
+	if status.Remaining != 4 {
+		t.Fatalf("post-rollover remaining = %d, want %d", status.Remaining, 4)
+	}
+}

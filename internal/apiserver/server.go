@@ -25,8 +25,13 @@ type Options struct {
 	TwitterLimit  int
 	TwitterWindow time.Duration
 	// FailureRate in [0,1) injects random HTTP 500s on all endpoints to
-	// exercise crawler retries. Default 0.
+	// exercise crawler retries. Default 0. For reproducible schedules use
+	// Faults instead.
 	FailureRate float64
+	// Faults enables the deterministic fault injector (5xx, 429 bursts,
+	// slow responses, truncated bodies, connection resets), replayable
+	// from its seed. Nil disables injection.
+	Faults *FaultConfig
 	// Facebook OAuth: short-lived tokens are only good for exchanging
 	// into long-lived ones at /facebook/oauth/access_token with the app
 	// credentials — the dance the paper describes ("the access token is
@@ -80,9 +85,11 @@ func (o *Options) fill() {
 //	GET /twitter/users/show?screen_name=S
 //	GET /twitter/rate_limit_status
 type Server struct {
-	world *ecosystem.World
-	opts  Options
-	mux   *http.ServeMux
+	world   *ecosystem.World
+	opts    Options
+	mux     *http.ServeMux
+	handler http.Handler
+	faults  *faultInjector
 
 	tokens    map[string]bool
 	twLimiter *fixedWindow
@@ -125,6 +132,11 @@ func New(w *ecosystem.World, opts Options) *Server {
 	s.mux.HandleFunc("/facebook/oauth/access_token", s.handleFBExchange)
 	s.mux.HandleFunc("/twitter/users/show", s.handleTwitter)
 	s.mux.HandleFunc("/twitter/rate_limit_status", s.handleTwitterStatus)
+	s.handler = s.mux
+	if opts.Faults != nil {
+		s.faults = newFaultInjector(*opts.Faults)
+		s.handler = s.faults.withFaults(s.mux)
+	}
 	return s
 }
 
@@ -152,8 +164,18 @@ func (s *Server) Reload() {
 	}
 }
 
-// Handler returns the root handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler, including the fault-injection layer
+// when one is configured.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// FaultStats reports how many faults the injector has served, by kind.
+// It is zero-valued when no fault injection is configured.
+func (s *Server) FaultStats() FaultStats {
+	if s.faults == nil {
+		return FaultStats{}
+	}
+	return s.faults.Stats()
+}
 
 // Calls reports how many authorized requests the server has handled.
 func (s *Server) Calls() int64 {

@@ -8,10 +8,12 @@
 // obstacles the paper describes: per-token Twitter rate windows (defeated
 // by rotating tokens, as the paper distributes its crawl across machines
 // with different tokens), transient server errors (exponential backoff
-// with jitter), and paginated listings.
+// with jitter), truncated or malformed response bodies (re-fetched), and
+// paginated listings.
 package crawler
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,13 +44,14 @@ type Client struct {
 	// HTTP client; defaults to http.DefaultClient.
 	HTTP *http.Client
 	// MaxRetries bounds retry attempts for transient failures (5xx,
-	// network errors). Default 5.
+	// network errors, malformed bodies). Default 5.
 	MaxRetries int
 	// BaseBackoff is the initial retry delay, doubled per attempt with
 	// jitter. Default 10ms.
 	BaseBackoff time.Duration
-	// Sleep is called to wait between retries and when every token is
-	// rate limited; tests inject a fake. Defaults to time.Sleep.
+	// Sleep, when non-nil, replaces the real wait between retries and
+	// when every token is rate limited; tests inject fakes. The default
+	// (nil) sleeps on a timer that respects context cancellation.
 	Sleep func(time.Duration)
 
 	tokenCursor atomic.Uint64
@@ -64,6 +67,7 @@ type Client struct {
 type ClientStats struct {
 	Requests      int64 // HTTP requests issued
 	Retries       int64 // retried transient failures
+	BodyRetries   int64 // re-fetches after truncated/malformed 200 bodies
 	RateLimitHits int64 // 429 responses observed
 	TokenSleeps   int64 // waits because every token was exhausted
 }
@@ -79,7 +83,6 @@ func NewClient(baseURL string, tokens []string) (*Client, error) {
 		HTTP:        http.DefaultClient,
 		MaxRetries:  5,
 		BaseBackoff: 10 * time.Millisecond,
-		Sleep:       time.Sleep,
 		jitter:      rand.New(rand.NewSource(1)),
 	}, nil
 }
@@ -111,19 +114,53 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d + j
 }
 
+// sleep waits for d or until ctx is canceled, whichever comes first. A
+// custom Sleep fake runs to completion (fakes advance virtual clocks),
+// but cancellation is still honored before and after it.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // getJSON fetches path (with query) into out, handling auth, retries and
 // token rotation. A 429 rotates to the next token immediately; when all
 // tokens are exhausted it sleeps for the smallest Retry-After observed.
-func (c *Client) getJSON(path string, query url.Values, out any) error {
+// Truncated or malformed 200 bodies are re-fetched like transient
+// failures. All waits abort promptly on context cancellation.
+func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out any) error {
 	attempt := 0
 	rotations := 0
+	retryTransient := func(cause error) error {
+		if attempt >= c.MaxRetries {
+			return cause
+		}
+		c.bump(func(s *ClientStats) { s.Retries++ })
+		if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
+			return fmt.Errorf("crawler: %s: %w", path, err)
+		}
+		attempt++
+		return nil
+	}
 	for {
 		token := c.nextToken()
 		u := c.BaseURL + path
 		if len(query) > 0 {
 			u += "?" + query.Encode()
 		}
-		req, err := http.NewRequest(http.MethodGet, u, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 		if err != nil {
 			return fmt.Errorf("crawler: build request: %w", err)
 		}
@@ -135,25 +172,31 @@ func (c *Client) getJSON(path string, query url.Values, out any) error {
 		}
 		resp, err := httpc.Do(req)
 		if err != nil {
-			if attempt >= c.MaxRetries {
-				return fmt.Errorf("crawler: %s: %w", path, err)
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return fmt.Errorf("crawler: %s: %w", path, ctxErr)
 			}
-			c.bump(func(s *ClientStats) { s.Retries++ })
-			c.Sleep(c.backoff(attempt))
-			attempt++
+			if err := retryTransient(fmt.Errorf("crawler: %s: %w", path, err)); err != nil {
+				return err
+			}
 			continue
 		}
 		body, readErr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 		resp.Body.Close()
 		switch {
 		case resp.StatusCode == http.StatusOK:
-			if readErr != nil {
-				return fmt.Errorf("crawler: read %s: %w", path, readErr)
+			cause := readErr
+			if cause == nil {
+				if cause = json.Unmarshal(body, out); cause == nil {
+					return nil
+				}
 			}
-			if err := json.Unmarshal(body, out); err != nil {
-				return fmt.Errorf("crawler: decode %s: %w", path, err)
+			// A 200 with an unreadable or undecodable body is a truncated
+			// transfer; re-fetch the page like any transient failure.
+			c.bump(func(s *ClientStats) { s.BodyRetries++ })
+			if err := retryTransient(fmt.Errorf("crawler: bad body for %s: %w", path, cause)); err != nil {
+				return err
 			}
-			return nil
+			continue
 		case resp.StatusCode == http.StatusNotFound:
 			return fmt.Errorf("%w: %s", ErrNotFound, path)
 		case resp.StatusCode == http.StatusTooManyRequests:
@@ -170,16 +213,15 @@ func (c *Client) getJSON(path string, query url.Values, out any) error {
 				}
 			}
 			c.bump(func(s *ClientStats) { s.TokenSleeps++ })
-			c.Sleep(retry)
+			if err := c.sleep(ctx, retry); err != nil {
+				return fmt.Errorf("crawler: %s: %w", path, err)
+			}
 			rotations = 0
 			continue
 		case resp.StatusCode >= 500:
-			if attempt >= c.MaxRetries {
-				return fmt.Errorf("crawler: %s: server error %d after %d retries", path, resp.StatusCode, attempt)
+			if err := retryTransient(fmt.Errorf("crawler: %s: server error %d after %d retries", path, resp.StatusCode, attempt)); err != nil {
+				return err
 			}
-			c.bump(func(s *ClientStats) { s.Retries++ })
-			c.Sleep(c.backoff(attempt))
-			attempt++
 			continue
 		default:
 			return fmt.Errorf("crawler: %s: unexpected status %d", path, resp.StatusCode)
@@ -189,13 +231,13 @@ func (c *Client) getJSON(path string, query url.Values, out any) error {
 
 // RaisingStartups pages through the currently-raising listing, the seed
 // set of the BFS.
-func (c *Client) RaisingStartups() ([]string, error) {
+func (c *Client) RaisingStartups(ctx context.Context) ([]string, error) {
 	var all []string
 	page := 1
 	for {
 		var resp apiserver.RaisingResponse
 		q := url.Values{"page": {strconv.Itoa(page)}}
-		if err := c.getJSON("/angellist/startups/raising", q, &resp); err != nil {
+		if err := c.getJSON(ctx, "/angellist/startups/raising", q, &resp); err != nil {
 			return nil, err
 		}
 		all = append(all, resp.Startups...)
@@ -207,22 +249,22 @@ func (c *Client) RaisingStartups() ([]string, error) {
 }
 
 // Startup fetches one AngelList startup profile.
-func (c *Client) Startup(id string) (*ecosystem.Startup, error) {
+func (c *Client) Startup(ctx context.Context, id string) (*ecosystem.Startup, error) {
 	var s ecosystem.Startup
-	if err := c.getJSON("/angellist/startups/"+id, nil, &s); err != nil {
+	if err := c.getJSON(ctx, "/angellist/startups/"+id, nil, &s); err != nil {
 		return nil, err
 	}
 	return &s, nil
 }
 
 // Followers pages through the users following a startup.
-func (c *Client) Followers(id string) ([]string, error) {
+func (c *Client) Followers(ctx context.Context, id string) ([]string, error) {
 	var all []string
 	page := 1
 	for {
 		var resp apiserver.FollowersResponse
 		q := url.Values{"page": {strconv.Itoa(page)}}
-		if err := c.getJSON("/angellist/startups/"+id+"/followers", q, &resp); err != nil {
+		if err := c.getJSON(ctx, "/angellist/startups/"+id+"/followers", q, &resp); err != nil {
 			return nil, err
 		}
 		all = append(all, resp.Followers...)
@@ -234,36 +276,36 @@ func (c *Client) Followers(id string) ([]string, error) {
 }
 
 // User fetches one AngelList user profile.
-func (c *Client) User(id string) (*ecosystem.User, error) {
+func (c *Client) User(ctx context.Context, id string) (*ecosystem.User, error) {
 	var u ecosystem.User
-	if err := c.getJSON("/angellist/users/"+id, nil, &u); err != nil {
+	if err := c.getJSON(ctx, "/angellist/users/"+id, nil, &u); err != nil {
 		return nil, err
 	}
 	return &u, nil
 }
 
 // CBOrganization fetches a CrunchBase profile by its URL.
-func (c *Client) CBOrganization(cbURL string) (*ecosystem.CrunchBaseProfile, error) {
+func (c *Client) CBOrganization(ctx context.Context, cbURL string) (*ecosystem.CrunchBaseProfile, error) {
 	var p ecosystem.CrunchBaseProfile
-	if err := c.getJSON("/crunchbase/organization", url.Values{"url": {cbURL}}, &p); err != nil {
+	if err := c.getJSON(ctx, "/crunchbase/organization", url.Values{"url": {cbURL}}, &p); err != nil {
 		return nil, err
 	}
 	return &p, nil
 }
 
 // CBSearch searches CrunchBase by company name.
-func (c *Client) CBSearch(name string) ([]*ecosystem.CrunchBaseProfile, error) {
+func (c *Client) CBSearch(ctx context.Context, name string) ([]*ecosystem.CrunchBaseProfile, error) {
 	var resp apiserver.CBSearchResponse
-	if err := c.getJSON("/crunchbase/search", url.Values{"name": {name}}, &resp); err != nil {
+	if err := c.getJSON(ctx, "/crunchbase/search", url.Values{"name": {name}}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Results, nil
 }
 
 // FacebookPage fetches a Facebook page profile by URL via the Graph API.
-func (c *Client) FacebookPage(fbURL string) (*ecosystem.FacebookProfile, error) {
+func (c *Client) FacebookPage(ctx context.Context, fbURL string) (*ecosystem.FacebookProfile, error) {
 	var p ecosystem.FacebookProfile
-	if err := c.getJSON("/facebook/graph", url.Values{"url": {fbURL}}, &p); err != nil {
+	if err := c.getJSON(ctx, "/facebook/graph", url.Values{"url": {fbURL}}, &p); err != nil {
 		return nil, err
 	}
 	return &p, nil
@@ -272,7 +314,7 @@ func (c *Client) FacebookPage(fbURL string) (*ecosystem.FacebookProfile, error) 
 // ExchangeFacebookToken swaps a short-lived token plus app credentials
 // for a long-lived access token (the Graph API dance the paper performs
 // before crawling Facebook) and appends it to the client's rotation.
-func (c *Client) ExchangeFacebookToken(appID, appSecret, shortToken string) (string, error) {
+func (c *Client) ExchangeFacebookToken(ctx context.Context, appID, appSecret, shortToken string) (string, error) {
 	q := url.Values{
 		"grant_type":        {"fb_exchange_token"},
 		"app_id":            {appID},
@@ -283,7 +325,12 @@ func (c *Client) ExchangeFacebookToken(appID, appSecret, shortToken string) (str
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
-	resp, err := httpc.Get(c.BaseURL + "/facebook/oauth/access_token?" + q.Encode())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/facebook/oauth/access_token?"+q.Encode(), nil)
+	if err != nil {
+		return "", fmt.Errorf("crawler: token exchange: %w", err)
+	}
+	resp, err := httpc.Do(req)
 	if err != nil {
 		return "", fmt.Errorf("crawler: token exchange: %w", err)
 	}
@@ -303,9 +350,9 @@ func (c *Client) ExchangeFacebookToken(appID, appSecret, shortToken string) (str
 }
 
 // TwitterUser fetches a Twitter profile by screen name.
-func (c *Client) TwitterUser(screenName string) (*ecosystem.TwitterProfile, error) {
+func (c *Client) TwitterUser(ctx context.Context, screenName string) (*ecosystem.TwitterProfile, error) {
 	var p ecosystem.TwitterProfile
-	if err := c.getJSON("/twitter/users/show", url.Values{"screen_name": {screenName}}, &p); err != nil {
+	if err := c.getJSON(ctx, "/twitter/users/show", url.Values{"screen_name": {screenName}}, &p); err != nil {
 		return nil, err
 	}
 	return &p, nil

@@ -3,6 +3,7 @@ package crawler
 import (
 	"context"
 	"errors"
+	"sort"
 	"strings"
 	"sync"
 
@@ -33,6 +34,8 @@ type Stats struct {
 	CBMissing        int // no CrunchBase data at all
 	FacebookProfiles int
 	TwitterProfiles  int
+	Resumed          bool // this crawl continued from a checkpoint
+	Checkpoints      int  // checkpoints written by this process
 	Client           ClientStats
 }
 
@@ -46,6 +49,11 @@ type Crawler struct {
 	MaxRounds int
 	// SkipAugmentation collects only the AngelList graph.
 	SkipAugmentation bool
+	// Checkpoint, when non-nil, persists progress after every BFS round
+	// and augmentation batch so an interrupted crawl can resume. The
+	// collected data is unchanged by interruption: a resumed crawl
+	// produces the same snapshot contents as an uninterrupted one.
+	Checkpoint *CheckpointConfig
 }
 
 // Run executes a full crawl. It is deterministic in the served world up to
@@ -66,23 +74,99 @@ func (cr *Crawler) Run(ctx context.Context) (*Snapshot, error) {
 		Twitter:    map[string]*ecosystem.TwitterProfile{},
 	}
 
-	// Phase 1: BFS over the AngelList graph.
-	seeds, err := cr.Client.RaisingStartups()
-	if err != nil {
-		return nil, err
+	var startupFrontier, userFrontier []string
+	var augmentDone []string
+	phase := PhaseBFS
+	seeded := false
+	cpSeq := 0
+
+	if cr.Checkpoint != nil && cr.Checkpoint.Resume {
+		cp, ok, err := LoadCheckpoint(cr.Checkpoint.Store, cr.Checkpoint.namespace())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			snap = cp.Snap
+			snap.Stats.Resumed = true
+			phase = cp.Phase
+			startupFrontier = cp.StartupFrontier
+			userFrontier = cp.UserFrontier
+			augmentDone = cp.AugmentDone
+			cpSeq = cp.Seq + 1
+			seeded = true
+			if phase != PhaseBFS && phase != PhaseAugment {
+				// Terminal checkpoint: the crawl already finished.
+				snap.Stats.Client = cr.Client.Stats()
+				return snap, nil
+			}
+		}
 	}
-	snap.Stats.SeedStartups = len(seeds)
+
+	save := func(cp Checkpoint) error {
+		if cr.Checkpoint == nil {
+			return nil
+		}
+		cp.Seq = cpSeq
+		cp.Snap = snap
+		if err := SaveCheckpoint(cr.Checkpoint.Store, cr.Checkpoint.namespace(), &cp); err != nil {
+			return err
+		}
+		cpSeq++
+		snap.Stats.Checkpoints++
+		return nil
+	}
 
 	var mu sync.Mutex // guards snap maps and the next-frontier sets
-	startupFrontier := dedupe(seeds)
-	var userFrontier []string
 
+	if phase == PhaseBFS {
+		if !seeded {
+			// Phase 1 start: seed the BFS from the raising listing.
+			seeds, err := cr.Client.RaisingStartups(ctx)
+			if err != nil {
+				return nil, err
+			}
+			snap.Stats.SeedStartups = len(seeds)
+			startupFrontier = dedupe(seeds)
+		}
+		if err := cr.runBFS(ctx, workers, snap, &mu, startupFrontier, userFrontier, save); err != nil {
+			return nil, err
+		}
+		phase = PhaseAugment
+		if !cr.SkipAugmentation {
+			// Mark the phase transition so a crash between phases resumes
+			// directly into augmentation.
+			if err := save(Checkpoint{Phase: PhaseAugment, Round: snap.Stats.Rounds}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	snap.Stats.StartupsCrawled = len(snap.Startups)
+	snap.Stats.UsersCrawled = len(snap.Users)
+
+	if phase == PhaseAugment && !cr.SkipAugmentation {
+		if err := cr.augment(ctx, workers, snap, &mu, augmentDone, save); err != nil {
+			return nil, err
+		}
+	}
+	if err := save(Checkpoint{Phase: PhaseDone, Round: snap.Stats.Rounds}); err != nil {
+		return nil, err
+	}
+	snap.Stats.Client = cr.Client.Stats()
+	return snap, nil
+}
+
+// runBFS crawls the AngelList follow graph breadth-first until both
+// frontiers empty, checkpointing after each completed round.
+func (cr *Crawler) runBFS(ctx context.Context, workers int, snap *Snapshot, mu *sync.Mutex,
+	startupFrontier, userFrontier []string, save func(Checkpoint) error) error {
 	for len(startupFrontier) > 0 || len(userFrontier) > 0 {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		snap.Stats.Rounds++
 		if cr.MaxRounds > 0 && snap.Stats.Rounds > cr.MaxRounds {
+			snap.Stats.Rounds--
 			break
 		}
 		var nextStartups, nextUsers []string
@@ -96,14 +180,14 @@ func (cr *Crawler) Run(ctx context.Context) (*Snapshot, error) {
 			if seen {
 				return nil
 			}
-			st, err := cr.Client.Startup(id)
+			st, err := cr.Client.Startup(ctx, id)
 			if err != nil {
 				if errors.Is(err, ErrNotFound) {
 					return nil
 				}
 				return err
 			}
-			followers, err := cr.Client.Followers(id)
+			followers, err := cr.Client.Followers(ctx, id)
 			if err != nil && !errors.Is(err, ErrNotFound) {
 				return err
 			}
@@ -118,7 +202,7 @@ func (cr *Crawler) Run(ctx context.Context) (*Snapshot, error) {
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Fetch every user in the frontier; what they follow becomes the
@@ -130,7 +214,7 @@ func (cr *Crawler) Run(ctx context.Context) (*Snapshot, error) {
 			if seen {
 				return nil
 			}
-			u, err := cr.Client.User(id)
+			u, err := cr.Client.User(ctx, id)
 			if err != nil {
 				if errors.Is(err, ErrNotFound) {
 					return nil
@@ -158,110 +242,151 @@ func (cr *Crawler) Run(ctx context.Context) (*Snapshot, error) {
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		startupFrontier = dedupe(nextStartups)
 		userFrontier = dedupe(nextUsers)
-	}
-	snap.Stats.StartupsCrawled = len(snap.Startups)
-	snap.Stats.UsersCrawled = len(snap.Users)
-
-	if !cr.SkipAugmentation {
-		if err := cr.augment(ctx, workers, snap, &mu); err != nil {
-			return nil, err
+		// The frontier *sets* are deterministic but their discovery order
+		// is not; sort so checkpoint records are stable.
+		sort.Strings(startupFrontier)
+		sort.Strings(userFrontier)
+		if err := save(Checkpoint{
+			Phase:           PhaseBFS,
+			Round:           snap.Stats.Rounds,
+			StartupFrontier: startupFrontier,
+			UserFrontier:    userFrontier,
+		}); err != nil {
+			return err
 		}
 	}
-	snap.Stats.Client = cr.Client.Stats()
-	return snap, nil
+	return nil
 }
 
 // augment performs the one-time CrunchBase/Facebook/Twitter augmentation
-// the paper describes in Section 3.
-func (cr *Crawler) augment(ctx context.Context, workers int, snap *Snapshot, mu *sync.Mutex) error {
+// the paper describes in Section 3, in sorted batches with a checkpoint
+// after each so interrupted runs re-fetch at most one batch.
+func (cr *Crawler) augment(ctx context.Context, workers int, snap *Snapshot, mu *sync.Mutex,
+	done []string, save func(Checkpoint) error) error {
+	doneSet := make(map[string]struct{}, len(done))
+	for _, id := range done {
+		doneSet[id] = struct{}{}
+	}
 	ids := make([]string, 0, len(snap.Startups))
 	for id := range snap.Startups {
-		ids = append(ids, id)
+		if _, ok := doneSet[id]; !ok {
+			ids = append(ids, id)
+		}
 	}
-	return parallel(ctx, workers, ids, func(id string) error {
-		st := snap.Startups[id]
+	sort.Strings(ids)
 
-		// CrunchBase: prefer the profile link; otherwise search by name
-		// and accept only a unique match.
-		var cb *ecosystem.CrunchBaseProfile
-		viaLink := false
-		if st.CrunchBaseURL != "" {
-			p, err := cr.Client.CBOrganization(st.CrunchBaseURL)
-			if err != nil && !errors.Is(err, ErrNotFound) {
-				return err
-			}
-			cb = p
-			viaLink = cb != nil
+	batch := len(ids)
+	if cr.Checkpoint != nil {
+		batch = cr.Checkpoint.batch()
+	}
+	for lo := 0; lo < len(ids); lo += batch {
+		hi := lo + batch
+		if hi > len(ids) {
+			hi = len(ids)
 		}
-		ambiguous := false
-		if cb == nil {
-			results, err := cr.Client.CBSearch(st.Name)
-			if err != nil && !errors.Is(err, ErrNotFound) {
-				return err
-			}
-			switch len(results) {
-			case 1:
-				cb = results[0]
-			case 0:
-			default:
-				ambiguous = true
-			}
+		if err := parallel(ctx, workers, ids[lo:hi], func(id string) error {
+			return cr.augmentOne(ctx, snap, mu, id)
+		}); err != nil {
+			return err
 		}
-
-		var fb *ecosystem.FacebookProfile
-		if st.FacebookURL != "" {
-			p, err := cr.Client.FacebookPage(st.FacebookURL)
-			if err != nil && !errors.Is(err, ErrNotFound) {
-				return err
-			}
-			fb = p
+		done = append(done, ids[lo:hi]...)
+		if err := save(Checkpoint{
+			Phase:       PhaseAugment,
+			Round:       snap.Stats.Rounds,
+			AugmentDone: done,
+		}); err != nil {
+			return err
 		}
-
-		var tw *ecosystem.TwitterProfile
-		if st.TwitterURL != "" {
-			// Extract the username from the URL: the string after the
-			// last "/" (exactly the paper's method).
-			username := st.TwitterURL[strings.LastIndex(st.TwitterURL, "/")+1:]
-			p, err := cr.Client.TwitterUser(username)
-			if err != nil && !errors.Is(err, ErrNotFound) {
-				return err
-			}
-			tw = p
-		}
-
-		mu.Lock()
-		defer mu.Unlock()
-		switch {
-		case cb != nil && viaLink:
-			snap.CrunchBase[id] = cb
-			snap.Stats.CBByLink++
-		case cb != nil:
-			snap.CrunchBase[id] = cb
-			snap.Stats.CBBySearch++
-		case ambiguous:
-			snap.Stats.CBAmbiguous++
-		default:
-			snap.Stats.CBMissing++
-		}
-		if fb != nil {
-			snap.Facebook[id] = fb
-			snap.Stats.FacebookProfiles++
-		}
-		if tw != nil {
-			snap.Twitter[id] = tw
-			snap.Stats.TwitterProfiles++
-		}
-		return nil
-	})
+	}
+	return nil
 }
 
-// parallel runs f over items with bounded workers, stopping at the first
-// error or context cancellation.
+// augmentOne attaches the external profiles of a single startup.
+func (cr *Crawler) augmentOne(ctx context.Context, snap *Snapshot, mu *sync.Mutex, id string) error {
+	st := snap.Startups[id]
+
+	// CrunchBase: prefer the profile link; otherwise search by name
+	// and accept only a unique match.
+	var cb *ecosystem.CrunchBaseProfile
+	viaLink := false
+	if st.CrunchBaseURL != "" {
+		p, err := cr.Client.CBOrganization(ctx, st.CrunchBaseURL)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		cb = p
+		viaLink = cb != nil
+	}
+	ambiguous := false
+	if cb == nil {
+		results, err := cr.Client.CBSearch(ctx, st.Name)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		switch len(results) {
+		case 1:
+			cb = results[0]
+		case 0:
+		default:
+			ambiguous = true
+		}
+	}
+
+	var fb *ecosystem.FacebookProfile
+	if st.FacebookURL != "" {
+		p, err := cr.Client.FacebookPage(ctx, st.FacebookURL)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		fb = p
+	}
+
+	var tw *ecosystem.TwitterProfile
+	if st.TwitterURL != "" {
+		// Extract the username from the URL: the string after the
+		// last "/" (exactly the paper's method).
+		username := st.TwitterURL[strings.LastIndex(st.TwitterURL, "/")+1:]
+		p, err := cr.Client.TwitterUser(ctx, username)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		tw = p
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	switch {
+	case cb != nil && viaLink:
+		snap.CrunchBase[id] = cb
+		snap.Stats.CBByLink++
+	case cb != nil:
+		snap.CrunchBase[id] = cb
+		snap.Stats.CBBySearch++
+	case ambiguous:
+		snap.Stats.CBAmbiguous++
+	default:
+		snap.Stats.CBMissing++
+	}
+	if fb != nil {
+		snap.Facebook[id] = fb
+		snap.Stats.FacebookProfiles++
+	}
+	if tw != nil {
+		snap.Twitter[id] = tw
+		snap.Stats.TwitterProfiles++
+	}
+	return nil
+}
+
+// parallel runs f over items with bounded workers. After the first error
+// no new items are dispatched, but every failure from in-flight workers
+// is recorded; the result joins them all (errors.Join) so callers can
+// inspect the complete failure set.
 func parallel(ctx context.Context, workers int, items []string, f func(string) error) error {
 	if len(items) == 0 {
 		return nil
@@ -273,7 +398,7 @@ func parallel(ctx context.Context, workers int, items []string, f func(string) e
 		wg   sync.WaitGroup
 		mu   sync.Mutex
 		next int
-		err  error
+		errs []error
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -281,26 +406,22 @@ func parallel(ctx context.Context, workers int, items []string, f func(string) e
 			defer wg.Done()
 			for {
 				mu.Lock()
-				if err != nil || next >= len(items) {
+				if len(errs) > 0 || next >= len(items) {
 					mu.Unlock()
 					return
 				}
 				item := items[next]
 				next++
 				mu.Unlock()
-				if ctx.Err() != nil {
+				if err := ctx.Err(); err != nil {
 					mu.Lock()
-					if err == nil {
-						err = ctx.Err()
-					}
+					errs = append(errs, err)
 					mu.Unlock()
 					return
 				}
-				if e := f(item); e != nil {
+				if err := f(item); err != nil {
 					mu.Lock()
-					if err == nil {
-						err = e
-					}
+					errs = append(errs, err)
 					mu.Unlock()
 					return
 				}
@@ -308,7 +429,7 @@ func parallel(ctx context.Context, workers int, items []string, f func(string) e
 		}()
 	}
 	wg.Wait()
-	return err
+	return errors.Join(errs...)
 }
 
 func dedupe(ids []string) []string {

@@ -278,10 +278,11 @@ func TestSchedulerValidation(t *testing.T) {
 
 func TestClientNotFound(t *testing.T) {
 	_, _, client := harness(t, apiserver.Options{})
-	if _, err := client.Startup("does-not-exist"); !errors.Is(err, ErrNotFound) {
+	ctx := context.Background()
+	if _, err := client.Startup(ctx, "does-not-exist"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expected ErrNotFound, got %v", err)
 	}
-	if _, err := client.User("does-not-exist"); !errors.Is(err, ErrNotFound) {
+	if _, err := client.User(ctx, "does-not-exist"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expected ErrNotFound, got %v", err)
 	}
 }
@@ -303,8 +304,9 @@ func TestExchangeFacebookToken(t *testing.T) {
 		FBAppSecret:   "sec-x",
 		FBShortTokens: []string{"stub"},
 	})
+	ctx := context.Background()
 	before := len(client.Tokens)
-	long, err := client.ExchangeFacebookToken("app-x", "sec-x", "stub")
+	long, err := client.ExchangeFacebookToken(ctx, "app-x", "sec-x", "stub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,14 +319,14 @@ func TestExchangeFacebookToken(t *testing.T) {
 		t.Fatal(err)
 	}
 	solo.Sleep = func(time.Duration) {}
-	if _, err := solo.RaisingStartups(); err != nil {
+	if _, err := solo.RaisingStartups(ctx); err != nil {
 		t.Fatalf("long token rejected: %v", err)
 	}
 	// Bad exchanges fail.
-	if _, err := client.ExchangeFacebookToken("app-x", "wrong", "stub"); err == nil {
+	if _, err := client.ExchangeFacebookToken(ctx, "app-x", "wrong", "stub"); err == nil {
 		t.Error("bad secret accepted")
 	}
-	if _, err := client.ExchangeFacebookToken("app-x", "sec-x", "nope"); err == nil {
+	if _, err := client.ExchangeFacebookToken(ctx, "app-x", "sec-x", "nope"); err == nil {
 		t.Error("bad short token accepted")
 	}
 }

@@ -2,9 +2,34 @@
 # CI gate: vet, build, and run the full test suite under the race
 # detector. The parallel kernels' equivalence tests make -race meaningful:
 # every pool-backed code path runs at multiple worker counts.
+#
+# The crawler and apiserver packages additionally carry a coverage floor:
+# the chaos suite (fault injection + kill/resume) is the proof that the
+# collection layer tolerates real-world API behaviour, so its coverage
+# must not silently rot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Per-package coverage floors (percent).
+check_coverage() {
+  local pkg="$1" floor="$2" out pct
+  out=$(go test -coverprofile=/tmp/cover.$$.out "$pkg")
+  echo "$out"
+  pct=$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')
+  rm -f /tmp/cover.$$.out
+  if [ -z "$pct" ]; then
+    echo "ci: could not parse coverage for $pkg" >&2
+    exit 1
+  fi
+  awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p >= f) }' || {
+    echo "ci: $pkg coverage ${pct}% is below the ${floor}% floor" >&2
+    exit 1
+  }
+}
+
+check_coverage ./internal/crawler 70
+check_coverage ./internal/apiserver 70
