@@ -708,3 +708,66 @@ func BenchmarkE12E13Longitudinal(b *testing.B) {
 		p.Close()
 	}
 }
+
+// ---- PR3: frozen snapshot load ----
+
+// BenchmarkSnapshotLoad compares snapshot cold-start paths: decoding the
+// frozen columnar artifact (one sequential read per column, CSR arrays
+// used as stored) against the raw-JSON rebuild (per-record decoding,
+// dataflow merge joins, adjacency build + sort). The x_speedup metric on
+// the speedup sub-benchmark is the rebuild/frozen time ratio.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	p, _, _ := fixture(b)
+	if !core.HasFrozen(p.Store, 0) {
+		b.Fatal("fixture crawl did not emit a frozen snapshot")
+	}
+	jsonRebuild := func() *graph.Bipartite {
+		companies, err := core.LoadCompanies(p.Store, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		investors, err := core.LoadInvestors(p.Store, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = companies
+		return core.BuildInvestorGraph(investors)
+	}
+	b.Run("frozen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fs, err := core.LoadFrozen(p.Store, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(len(fs.Companies)), "companies")
+				b.ReportMetric(float64(len(fs.Investors)), "investors")
+				b.ReportMetric(float64(fs.Graph.NumEdges()), "edges")
+			}
+		}
+	})
+	b.Run("json-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := jsonRebuild()
+			if i == b.N-1 {
+				b.ReportMetric(float64(g.NumEdges()), "edges")
+			}
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var frozenNs, rebuildNs time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := core.LoadFrozen(p.Store, 0); err != nil {
+				b.Fatal(err)
+			}
+			frozenNs += time.Since(t0)
+			t1 := time.Now()
+			jsonRebuild()
+			rebuildNs += time.Since(t1)
+		}
+		if frozenNs > 0 {
+			b.ReportMetric(float64(rebuildNs)/float64(frozenNs), "x_speedup")
+		}
+	})
+}

@@ -39,6 +39,7 @@ func main() {
 	csvDir := flag.String("csv", "", "optional directory for CSV figure series")
 	pairs := flag.Int("pairs", 100000, "global pair-sample size for fig4 (paper: 800000)")
 	workers := flag.Int("workers", 0, "worker pool size for all parallel kernels (<=0: GOMAXPROCS); results are identical for any value")
+	rebuild := flag.Bool("rebuild-snapshot", false, "regenerate the frozen snapshot from the raw JSON namespaces and analyze via the rebuild path")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
@@ -51,7 +52,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := p.Analyze(-1)
+	var a *crowdscope.Analysis
+	if *rebuild {
+		if s, err := p.RebuildSnapshot(-1); err != nil {
+			log.Fatal(err)
+		} else {
+			fmt.Printf("rebuilt frozen snapshot %d from raw JSON\n", s)
+		}
+		a, err = p.AnalyzeRebuild(-1)
+	} else {
+		a, err = p.Analyze(-1)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

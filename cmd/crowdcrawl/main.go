@@ -26,6 +26,7 @@ import (
 
 	"crowdscope"
 	"crowdscope/internal/apiserver"
+	"crowdscope/internal/store"
 )
 
 func main() {
@@ -101,6 +102,11 @@ func main() {
 		stat, err := p.Store.Stats(ns)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if stat.Kind == store.KindBlob {
+			fmt.Printf("store %-22s     frozen blob  %8.1f KiB\n",
+				ns, float64(stat.Bytes)/1024)
+			continue
 		}
 		fmt.Printf("store %-22s %8d records  %8.1f KiB  %d segments\n",
 			ns, stat.Records, float64(stat.Bytes)/1024, stat.Segments)

@@ -8,7 +8,11 @@
 //
 // Namespaces are the store's crawl namespaces: angellist/startups,
 // angellist/users, crunchbase/profiles, facebook/profiles,
-// twitter/profiles.
+// twitter/profiles. When the store holds a frozen snapshot its merged
+// columns are queryable as virtual namespaces without any JSON rebuild:
+// frozen/snap-N/companies and frozen/snap-N/investors.
+// -rebuild-snapshot regenerates the latest frozen artifact from the raw
+// JSON namespaces first.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"crowdscope/internal/core"
 	"crowdscope/internal/parallel"
 	"crowdscope/internal/query"
 	"crowdscope/internal/store"
@@ -29,6 +34,7 @@ func main() {
 	log.SetPrefix("crowdquery: ")
 	storeDir := flag.String("store", "crawl-data", "store directory (see crowdcrawl)")
 	workers := flag.Int("workers", 0, "worker pool size for query execution (<=0: GOMAXPROCS)")
+	rebuild := flag.Bool("rebuild-snapshot", false, "regenerate the latest frozen snapshot from the raw JSON namespaces before querying")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
@@ -36,8 +42,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *rebuild {
+		snap, err := core.BuildFrozen(st, -1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rebuilt frozen snapshot %d\n", snap)
+	}
+	src := &core.QuerySource{Store: st}
 	if stmt := strings.TrimSpace(strings.Join(flag.Args(), " ")); stmt != "" {
-		if err := runOne(st, stmt); err != nil {
+		if err := runOne(src, stmt); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -57,14 +71,14 @@ func main() {
 		if stmt == "" {
 			continue
 		}
-		if err := runOne(st, stmt); err != nil {
+		if err := runOne(src, stmt); err != nil {
 			fmt.Println("error:", err)
 		}
 	}
 }
 
-func runOne(st *store.Store, stmt string) error {
-	res, err := query.Run(st, stmt)
+func runOne(src query.Source, stmt string) error {
+	res, err := query.Run(src, stmt)
 	if err != nil {
 		return err
 	}

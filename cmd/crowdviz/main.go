@@ -73,6 +73,17 @@ func main() {
 	if err := write("weak.svg", weakTitle, fig7.Weak); err != nil {
 		log.Fatal(err)
 	}
+	// Whole-graph overview rendered straight from the read-only view (the
+	// frozen snapshot's CSR columns when the analysis loaded one).
+	ov, err := os.Create(filepath.Join(*out, "overview.svg"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ov.Close()
+	if err := viz.BipartiteViewSVG(ov, "Filtered investment graph (first 120 investors)",
+		a.Communities.Filtered, 120); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("strong: %d investors, %d companies, avg shared %.2f, %.1f%% shared companies\n",
 		len(fig7.Strong.Investors), len(fig7.Strong.Companies), fig7.Strong.AvgShared, fig7.Strong.SharedPct)
 	fmt.Printf("weak:   %d investors, %d companies, avg shared %.3f, %.1f%% shared companies\n",

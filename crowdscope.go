@@ -25,6 +25,7 @@ import (
 	"crowdscope/internal/core"
 	"crowdscope/internal/crawler"
 	"crowdscope/internal/ecosystem"
+	"crowdscope/internal/graph"
 	"crowdscope/internal/store"
 )
 
@@ -176,6 +177,11 @@ func (p *Pipeline) Crawl(ctx context.Context, snapshot int) (*crawler.Snapshot, 
 	if err := crawler.Persist(p.Store, snap, snapshot); err != nil {
 		return nil, err
 	}
+	// Snapshot-builder stage: emit the frozen columnar artifact so later
+	// Analyze calls skip the JSON merge entirely.
+	if _, err := core.BuildFrozen(p.Store, snapshot); err != nil {
+		return nil, fmt.Errorf("crowdscope: freeze snapshot %d: %w", snapshot, err)
+	}
 	if cr.Checkpoint != nil {
 		marker := &crawler.Checkpoint{
 			Seq:   snap.Stats.Checkpoints,
@@ -199,8 +205,32 @@ func (p *Pipeline) AdvanceDays(days int) {
 }
 
 // Analyze loads the given snapshot (-1 = latest) and runs the full
-// analysis suite.
+// analysis suite. When the snapshot has a frozen artifact, entities and
+// the bipartite graph come straight from its columns (no JSON decoding,
+// no joins, no adjacency rebuild); otherwise it falls back to the JSON
+// path. Both paths produce bit-identical analyses.
 func (p *Pipeline) Analyze(snapshot int) (*Analysis, error) {
+	snap := snapshot
+	if snap < 0 {
+		if s, err := core.LatestSnapshot(p.Store); err == nil {
+			snap = s
+		}
+	}
+	if snap >= 0 && core.HasFrozen(p.Store, snap) {
+		fs, err := core.LoadFrozen(p.Store, snap)
+		if err != nil {
+			return nil, err
+		}
+		return p.analyze(fs.Companies, fs.Investors, fs.Graph)
+	}
+	return p.AnalyzeRebuild(snapshot)
+}
+
+// AnalyzeRebuild is Analyze forced down the raw-JSON path: merge joins
+// over the crawled namespaces and a fresh graph build, ignoring any
+// frozen artifact. It backs the -rebuild-snapshot escape hatch and the
+// frozen-equivalence tests.
+func (p *Pipeline) AnalyzeRebuild(snapshot int) (*Analysis, error) {
 	companies, err := core.LoadCompanies(p.Store, snapshot)
 	if err != nil {
 		return nil, err
@@ -209,11 +239,23 @@ func (p *Pipeline) Analyze(snapshot int) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.analyze(companies, investors, core.BuildInvestorGraph(investors))
+}
+
+// RebuildSnapshot regenerates the snapshot's frozen artifact from the
+// raw JSON namespaces (-1 = latest crawled), replacing any existing
+// artifact. It returns the snapshot tag that was frozen.
+func (p *Pipeline) RebuildSnapshot(snapshot int) (int, error) {
+	return core.BuildFrozen(p.Store, snapshot)
+}
+
+// analyze runs the analysis suite over already-loaded entities and the
+// investment graph view.
+func (p *Pipeline) analyze(companies []core.Company, investors []core.Investor, b graph.BipartiteView) (*Analysis, error) {
 	rows, thresholds, err := core.EngagementTable(companies)
 	if err != nil {
 		return nil, err
 	}
-	b := core.BuildInvestorGraph(investors)
 	k := p.World.Cfg.NumCommunities()
 	comm, err := core.RunCommunitiesWorkers(b, 4, k, p.Config.Seed, p.Config.Workers)
 	if err != nil {

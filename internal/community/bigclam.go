@@ -28,7 +28,7 @@ type BigCLAM struct {
 func (b *BigCLAM) Name() string { return "bigclam" }
 
 // Detect implements Detector.
-func (b *BigCLAM) Detect(bp *graph.Bipartite) (*Assignment, error) {
+func (b *BigCLAM) Detect(bp graph.BipartiteView) (*Assignment, error) {
 	if b.K <= 0 {
 		return nil, fmt.Errorf("community: BigCLAM needs K > 0, got %d", b.K)
 	}
@@ -154,7 +154,7 @@ func (b *BigCLAM) Detect(bp *graph.Bipartite) (*Assignment, error) {
 
 // projectionAdjacency converts ProjectLeft edges into adjacency lists over
 // left indices (unweighted).
-func projectionAdjacency(bp *graph.Bipartite, minShared int) [][]int32 {
+func projectionAdjacency(bp graph.BipartiteView, minShared int) [][]int32 {
 	adj := make([][]int32, bp.NumLeft())
 	for _, e := range graph.ProjectLeft(bp, minShared) {
 		adj[e.U] = append(adj[e.U], e.V)

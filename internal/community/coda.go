@@ -51,7 +51,7 @@ func (c *CoDA) Name() string { return "coda" }
 // fit runs the gradient ascent and returns the membership matrices F
 // (investors, outgoing) and H (companies, incoming). Used by Detect and
 // by SelectK's held-out scoring.
-func (c *CoDA) fit(b *graph.Bipartite) (F, H [][]float64, err error) {
+func (c *CoDA) fit(b graph.BipartiteView) (F, H [][]float64, err error) {
 	if c.K <= 0 {
 		return nil, nil, fmt.Errorf("community: CoDA needs K > 0, got %d", c.K)
 	}
@@ -137,7 +137,7 @@ func (c *CoDA) fit(b *graph.Bipartite) (F, H [][]float64, err error) {
 }
 
 // Detect implements Detector.
-func (c *CoDA) Detect(b *graph.Bipartite) (*Assignment, error) {
+func (c *CoDA) Detect(b graph.BipartiteView) (*Assignment, error) {
 	nL, nR := b.NumLeft(), b.NumRight()
 	F, H, err := c.fit(b)
 	if err != nil {
@@ -192,7 +192,7 @@ func (c *CoDA) Detect(b *graph.Bipartite) (*Assignment, error) {
 // seed initializes memberships from the neighborhoods of high-degree
 // investors (an approximation of CoDA's locally-minimal-conductance
 // seeding) plus uniform noise.
-func (c *CoDA) seed(b *graph.Bipartite, F, H [][]float64, rng *rand.Rand) {
+func (c *CoDA) seed(b graph.BipartiteView, F, H [][]float64, rng *rand.Rand) {
 	nL := b.NumLeft()
 	nR := b.NumRight()
 	K := c.K

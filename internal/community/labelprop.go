@@ -23,7 +23,7 @@ type LabelProp struct {
 func (l *LabelProp) Name() string { return "labelprop" }
 
 // Detect implements Detector.
-func (l *LabelProp) Detect(bp *graph.Bipartite) (*Assignment, error) {
+func (l *LabelProp) Detect(bp graph.BipartiteView) (*Assignment, error) {
 	n := bp.NumLeft()
 	if n == 0 {
 		return &Assignment{}, nil

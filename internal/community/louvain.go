@@ -38,7 +38,7 @@ func (g *louvainGraph) degree(u int) float64 {
 }
 
 // Detect implements Detector.
-func (l *Louvain) Detect(bp *graph.Bipartite) (*Assignment, error) {
+func (l *Louvain) Detect(bp graph.BipartiteView) (*Assignment, error) {
 	n := bp.NumLeft()
 	if n == 0 {
 		return &Assignment{}, nil

@@ -34,7 +34,7 @@ type SBM struct {
 func (s *SBM) Name() string { return "sbm" }
 
 // Detect implements Detector.
-func (s *SBM) Detect(bp *graph.Bipartite) (*Assignment, error) {
+func (s *SBM) Detect(bp graph.BipartiteView) (*Assignment, error) {
 	if s.K <= 0 {
 		return nil, fmt.Errorf("community: SBM needs K > 0, got %d", s.K)
 	}

@@ -17,7 +17,7 @@ import (
 // held-out edges from random non-edges (ROC AUC) wins.
 //
 // It returns the chosen K and the per-candidate AUCs in candidate order.
-func SelectK(b *graph.Bipartite, candidates []int, seed int64) (int, []float64, error) {
+func SelectK(b graph.BipartiteView, candidates []int, seed int64) (int, []float64, error) {
 	if len(candidates) == 0 {
 		return 0, nil, fmt.Errorf("community: SelectK needs candidates")
 	}

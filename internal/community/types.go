@@ -75,7 +75,7 @@ type Detector interface {
 	// Name identifies the algorithm in experiment output.
 	Name() string
 	// Detect clusters the bipartite graph's investors.
-	Detect(b *graph.Bipartite) (*Assignment, error)
+	Detect(b graph.BipartiteView) (*Assignment, error)
 }
 
 // RecoveryScore compares detected investor communities against planted

@@ -76,23 +76,24 @@ func RunFig3(investors []Investor) Fig3Result {
 type CommunitiesResult struct {
 	Assignment *community.Assignment
 	// Filtered is the min-degree-filtered graph detection ran on; member
-	// indices refer to it.
-	Filtered *graph.Bipartite
+	// indices refer to it. It is a read-only view: the builder path stores
+	// the filtered *graph.Bipartite, the frozen path a *graph.FrozenBipartite.
+	Filtered graph.BipartiteView
 	MeanSize float64
 }
 
 // RunCommunities applies the paper's pipeline: filter to investors with
 // at least minDeg investments (the paper uses 4), then run CoDA with K
 // communities. Detection runs on the process-default worker pool.
-func RunCommunities(b *graph.Bipartite, minDeg, k int, seed int64) (*CommunitiesResult, error) {
+func RunCommunities(b graph.BipartiteView, minDeg, k int, seed int64) (*CommunitiesResult, error) {
 	return RunCommunitiesWorkers(b, minDeg, k, seed, 0)
 }
 
 // RunCommunitiesWorkers is RunCommunities under an explicit worker bound
 // (<= 0 selects the process-default pool). The fit is bit-identical for
 // every worker count.
-func RunCommunitiesWorkers(b *graph.Bipartite, minDeg, k int, seed int64, workers int) (*CommunitiesResult, error) {
-	filtered := b.FilterLeftMinDegree(minDeg)
+func RunCommunitiesWorkers(b graph.BipartiteView, minDeg, k int, seed int64, workers int) (*CommunitiesResult, error) {
+	filtered := graph.FilterLeftMinDegree(b, minDeg)
 	filtered.SortAdjacency()
 	coda := &community.CoDA{K: k, Seed: seed, Workers: workers}
 	a, err := coda.Detect(filtered)
@@ -260,7 +261,7 @@ func RunFig7(cr *CommunitiesResult, minSize int) (*Fig7Result, error) {
 	return &Fig7Result{Strong: pick(strong), Weak: pick(weak)}, nil
 }
 
-func extractSubgraph(b *graph.Bipartite, members []int32, s metrics.CommunityScore) Fig7Community {
+func extractSubgraph(b graph.BipartiteView, members []int32, s metrics.CommunityScore) Fig7Community {
 	c := Fig7Community{AvgShared: s.AvgShared, SharedPct: s.SharedPctK2}
 	companyIdx := map[int32]int{}
 	for _, u := range members {
@@ -299,7 +300,7 @@ type DetectorResult struct {
 // CompareDetectors runs every detector on the filtered graph and scores
 // the results with the paper's metrics; truth (optional) adds planted-
 // recovery F1.
-func CompareDetectors(filtered *graph.Bipartite, k int, seed int64, truth [][]int32) ([]DetectorResult, error) {
+func CompareDetectors(filtered graph.BipartiteView, k int, seed int64, truth [][]int32) ([]DetectorResult, error) {
 	detectors := []community.Detector{
 		&community.CoDA{K: k, Seed: seed},
 		&community.BigCLAM{K: k, Seed: seed},

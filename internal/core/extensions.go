@@ -8,6 +8,7 @@ import (
 	"crowdscope/internal/crawler"
 	"crowdscope/internal/dataflow"
 	"crowdscope/internal/dynamics"
+	"crowdscope/internal/graph"
 	"crowdscope/internal/predict"
 	"crowdscope/internal/stats"
 	"crowdscope/internal/store"
@@ -157,11 +158,11 @@ type CausalityResult struct {
 // the study the paper's §7 proposes (observational, so "causality" in the
 // paper's Granger-style sense of temporal precedence).
 func RunCausality(st *store.Store, snapA, snapB int) (*CausalityResult, error) {
-	before, err := LoadCompanies(st, snapA)
+	before, err := snapshotCompanies(st, snapA)
 	if err != nil {
 		return nil, err
 	}
-	after, err := LoadCompanies(st, snapB)
+	after, err := snapshotCompanies(st, snapB)
 	if err != nil {
 		return nil, err
 	}
@@ -232,11 +233,10 @@ type DynamicsResult struct {
 // as stable user IDs) and tracks formation/disbanding between them.
 func RunDynamics(st *store.Store, snapA, snapB, minDeg, k int, seed int64) (*DynamicsResult, error) {
 	labeled := func(snap int) ([][]string, error) {
-		investors, err := LoadInvestors(st, snap)
+		b, err := snapshotInvestorGraph(st, snap)
 		if err != nil {
 			return nil, err
 		}
-		b := BuildInvestorGraph(investors)
 		cr, err := RunCommunities(b, minDeg, k, seed)
 		if err != nil {
 			return nil, err
@@ -266,4 +266,35 @@ func RunDynamics(st *store.Store, snapA, snapB, minDeg, k int, seed int64) (*Dyn
 		Transition:      tr,
 		Counts:          tr.Counts(),
 	}, nil
+}
+
+// snapshotCompanies loads the snapshot's merged companies, from the
+// frozen artifact when one exists (identical result, no JSON merge).
+func snapshotCompanies(st *store.Store, snap int) ([]Company, error) {
+	if snap >= 0 && HasFrozen(st, snap) {
+		fs, err := LoadFrozen(st, snap)
+		if err != nil {
+			return nil, err
+		}
+		return fs.Companies, nil
+	}
+	return LoadCompanies(st, snap)
+}
+
+// snapshotInvestorGraph returns the snapshot's investment bipartite
+// graph as a read-only view, loaded from the frozen artifact's CSR
+// columns when one exists and rebuilt from JSON otherwise.
+func snapshotInvestorGraph(st *store.Store, snap int) (graph.BipartiteView, error) {
+	if snap >= 0 && HasFrozen(st, snap) {
+		fs, err := LoadFrozen(st, snap)
+		if err != nil {
+			return nil, err
+		}
+		return fs.Graph, nil
+	}
+	investors, err := LoadInvestors(st, snap)
+	if err != nil {
+		return nil, err
+	}
+	return BuildInvestorGraph(investors), nil
 }

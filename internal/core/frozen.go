@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+
+	"crowdscope/internal/graph"
+	"crowdscope/internal/snapshot"
+	"crowdscope/internal/store"
+)
+
+// Frozen snapshots are the columnar artifact the snapshot-builder stage
+// emits after a crawl persists: the merged companies, the merged
+// investors, and the bipartite investment graph's CSR arrays, all in one
+// checksummed blob. Loading one is a single sequential read per column —
+// no per-record JSON decoding, no dataflow joins, no CSR rebuild — and
+// the loaded entities and adjacency are bit-identical to what the JSON
+// path produces, so every analysis runs unchanged on either.
+
+// Company flag bits in the co.flags column.
+const (
+	flagRaising  = 1 << 0
+	flagVideo    = 1 << 1
+	flagFacebook = 1 << 2
+	flagTwitter  = 1 << 3
+	flagFunded   = 1 << 4
+)
+
+// FrozenSnapshot is one crawl snapshot decoded from its frozen artifact.
+type FrozenSnapshot struct {
+	Snapshot  int
+	Companies []Company
+	Investors []Investor
+	// Graph is the investment bipartite graph, adjacency-identical to
+	// BuildInvestorGraph(Investors).
+	Graph *graph.FrozenBipartite
+}
+
+// FrozenNamespace returns the store namespace holding the given
+// snapshot's frozen artifact.
+func FrozenNamespace(snap int) string {
+	return fmt.Sprintf("frozen/snap-%06d", snap)
+}
+
+// HasFrozen reports whether the snapshot has a committed frozen artifact.
+func HasFrozen(st *store.Store, snap int) bool {
+	return st.HasBlob(FrozenNamespace(snap))
+}
+
+// LatestFrozen returns the largest snapshot tag with a frozen artifact.
+// It inspects namespace names only — no data is read.
+func LatestFrozen(st *store.Store) (int, error) {
+	latest := -1
+	for _, ns := range st.Namespaces() {
+		var snap int
+		if _, err := fmt.Sscanf(ns, "frozen/snap-%d", &snap); err == nil && st.HasBlob(ns) && snap > latest {
+			latest = snap
+		}
+	}
+	if latest < 0 {
+		return 0, fmt.Errorf("core: no frozen snapshots in store")
+	}
+	return latest, nil
+}
+
+// BuildFrozen runs the snapshot-builder stage: load the snapshot through
+// the JSON path (merge joins + graph build), encode everything into the
+// columnar artifact, and commit it as the snapshot's frozen blob. Pass
+// snap -1 to freeze the latest crawled snapshot. Returns the snapshot
+// tag that was frozen.
+func BuildFrozen(st *store.Store, snap int) (int, error) {
+	if snap < 0 {
+		var err error
+		snap, err = LatestSnapshot(st)
+		if err != nil {
+			return 0, err
+		}
+	}
+	companies, err := LoadCompanies(st, snap)
+	if err != nil {
+		return 0, err
+	}
+	investors, err := LoadInvestors(st, snap)
+	if err != nil {
+		return 0, err
+	}
+	data, err := EncodeFrozen(&FrozenSnapshot{
+		Snapshot:  snap,
+		Companies: companies,
+		Investors: investors,
+		Graph:     graph.FreezeBipartite(BuildInvestorGraph(investors)),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := st.PutBlob(FrozenNamespace(snap), snapshot.FormatVersion, data); err != nil {
+		return 0, err
+	}
+	return snap, nil
+}
+
+// LoadFrozen decodes the snapshot's frozen artifact. Pass snap -1 for
+// the latest frozen snapshot.
+func LoadFrozen(st *store.Store, snap int) (*FrozenSnapshot, error) {
+	if snap < 0 {
+		var err error
+		snap, err = LatestFrozen(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	data, format, err := st.GetBlob(FrozenNamespace(snap))
+	if err != nil {
+		return nil, err
+	}
+	if format != snapshot.FormatVersion {
+		return nil, fmt.Errorf("core: frozen snapshot %d has format %d (reader supports %d)",
+			snap, format, snapshot.FormatVersion)
+	}
+	fs, err := DecodeFrozen(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: frozen snapshot %d: %w", snap, err)
+	}
+	if fs.Snapshot != snap {
+		return nil, fmt.Errorf("%w: artifact tagged snapshot %d stored under snapshot %d",
+			snapshot.ErrCorrupt, fs.Snapshot, snap)
+	}
+	return fs, nil
+}
+
+// EncodeFrozen serializes the snapshot into the columnar artifact.
+func EncodeFrozen(fs *FrozenSnapshot) ([]byte, error) {
+	e := snapshot.NewEncoder()
+	e.Int64s("meta.snapshot", []int64{int64(fs.Snapshot)})
+
+	nCo := len(fs.Companies)
+	coIDs := make([]string, nCo)
+	coNames := make([]string, nCo)
+	coFlags := make([]uint8, nCo)
+	coLikes := make([]int64, nCo)
+	coTweets := make([]int64, nCo)
+	coFollowers := make([]int64, nCo)
+	coRounds := make([]int64, nCo)
+	coRaised := make([]int64, nCo)
+	for i, c := range fs.Companies {
+		coIDs[i] = c.ID
+		coNames[i] = c.Name
+		var f uint8
+		if c.Raising {
+			f |= flagRaising
+		}
+		if c.HasVideo {
+			f |= flagVideo
+		}
+		if c.HasFacebook {
+			f |= flagFacebook
+		}
+		if c.HasTwitter {
+			f |= flagTwitter
+		}
+		if c.Funded {
+			f |= flagFunded
+		}
+		coFlags[i] = f
+		coLikes[i] = int64(c.Likes)
+		coTweets[i] = int64(c.Tweets)
+		coFollowers[i] = int64(c.Followers)
+		coRounds[i] = int64(c.RoundCount)
+		coRaised[i] = c.TotalRaisedUSD
+	}
+	e.Strings("co.ids", coIDs)
+	e.Strings("co.names", coNames)
+	e.Uint8s("co.flags", coFlags)
+	e.Int64s("co.likes", coLikes)
+	e.Int64s("co.tweets", coTweets)
+	e.Int64s("co.followers", coFollowers)
+	e.Int64s("co.rounds", coRounds)
+	e.Int64s("co.raised", coRaised)
+
+	nInv := len(fs.Investors)
+	invIDs := make([]string, nInv)
+	invFollows := make([]int64, nInv)
+	invOffsets := make([]int64, nInv+1)
+	var invFlat []string
+	for i, inv := range fs.Investors {
+		invIDs[i] = inv.ID
+		invFollows[i] = int64(inv.Follows)
+		invOffsets[i] = int64(len(invFlat))
+		// Investment order is load-bearing: BuildInvestorGraph assigns
+		// right-node ids by first appearance, so the flat table preserves
+		// each investor's original list exactly.
+		invFlat = append(invFlat, inv.Investments...)
+	}
+	invOffsets[nInv] = int64(len(invFlat))
+	e.Strings("inv.ids", invIDs)
+	e.Int64s("inv.follows", invFollows)
+	e.Int64s("inv.investments.offsets", invOffsets)
+	e.Strings("inv.investments.flat", invFlat)
+
+	snapshot.EncodeBipartite(e, "g", fs.Graph)
+	return e.Bytes()
+}
+
+// DecodeFrozen parses an artifact produced by EncodeFrozen.
+func DecodeFrozen(data []byte) (*FrozenSnapshot, error) {
+	d, err := snapshot.NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := d.Int64s("meta.snapshot")
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != 1 {
+		return nil, fmt.Errorf("%w: meta.snapshot holds %d values", snapshot.ErrCorrupt, len(meta))
+	}
+	fs := &FrozenSnapshot{Snapshot: int(meta[0])}
+
+	coIDs, err := d.Strings("co.ids")
+	if err != nil {
+		return nil, err
+	}
+	coNames, err := d.Strings("co.names")
+	if err != nil {
+		return nil, err
+	}
+	coFlags, err := d.Uint8s("co.flags")
+	if err != nil {
+		return nil, err
+	}
+	coLikes, err := d.Int64s("co.likes")
+	if err != nil {
+		return nil, err
+	}
+	coTweets, err := d.Int64s("co.tweets")
+	if err != nil {
+		return nil, err
+	}
+	coFollowers, err := d.Int64s("co.followers")
+	if err != nil {
+		return nil, err
+	}
+	coRounds, err := d.Int64s("co.rounds")
+	if err != nil {
+		return nil, err
+	}
+	coRaised, err := d.Int64s("co.raised")
+	if err != nil {
+		return nil, err
+	}
+	nCo := len(coIDs)
+	for name, n := range map[string]int{
+		"co.names": len(coNames), "co.flags": len(coFlags),
+		"co.likes": len(coLikes), "co.tweets": len(coTweets),
+		"co.followers": len(coFollowers), "co.rounds": len(coRounds),
+		"co.raised": len(coRaised),
+	} {
+		if n != nCo {
+			return nil, fmt.Errorf("%w: %s holds %d values for %d companies", snapshot.ErrCorrupt, name, n, nCo)
+		}
+	}
+	fs.Companies = make([]Company, nCo)
+	for i := range fs.Companies {
+		f := coFlags[i]
+		fs.Companies[i] = Company{
+			ID:             coIDs[i],
+			Name:           coNames[i],
+			Raising:        f&flagRaising != 0,
+			HasVideo:       f&flagVideo != 0,
+			HasFacebook:    f&flagFacebook != 0,
+			HasTwitter:     f&flagTwitter != 0,
+			Funded:         f&flagFunded != 0,
+			Likes:          int(coLikes[i]),
+			Tweets:         int(coTweets[i]),
+			Followers:      int(coFollowers[i]),
+			RoundCount:     int(coRounds[i]),
+			TotalRaisedUSD: coRaised[i],
+		}
+	}
+
+	invIDs, err := d.Strings("inv.ids")
+	if err != nil {
+		return nil, err
+	}
+	invFollows, err := d.Int64s("inv.follows")
+	if err != nil {
+		return nil, err
+	}
+	invOffsets, err := d.Int64s("inv.investments.offsets")
+	if err != nil {
+		return nil, err
+	}
+	invFlat, err := d.Strings("inv.investments.flat")
+	if err != nil {
+		return nil, err
+	}
+	nInv := len(invIDs)
+	if len(invFollows) != nInv || len(invOffsets) != nInv+1 {
+		return nil, fmt.Errorf("%w: investor columns disagree (%d ids, %d follows, %d offsets)",
+			snapshot.ErrCorrupt, nInv, len(invFollows), len(invOffsets))
+	}
+	if invOffsets[0] != 0 || invOffsets[nInv] != int64(len(invFlat)) {
+		return nil, fmt.Errorf("%w: investment offsets [%d,%d] disagree with %d entries",
+			snapshot.ErrCorrupt, invOffsets[0], invOffsets[nInv], len(invFlat))
+	}
+	fs.Investors = make([]Investor, nInv)
+	for i := range fs.Investors {
+		lo, hi := invOffsets[i], invOffsets[i+1]
+		if lo > hi || hi > int64(len(invFlat)) {
+			return nil, fmt.Errorf("%w: invalid investment offsets [%d,%d) for investor %d",
+				snapshot.ErrCorrupt, lo, hi, i)
+		}
+		fs.Investors[i] = Investor{
+			ID:          invIDs[i],
+			Investments: invFlat[lo:hi:hi],
+			Follows:     int(invFollows[i]),
+		}
+	}
+
+	fs.Graph, err = snapshot.DecodeBipartite(d, "g")
+	if err != nil {
+		return nil, err
+	}
+	return fs, nil
+}

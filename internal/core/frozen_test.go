@@ -1,0 +1,238 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"crowdscope/internal/query"
+)
+
+// buildFixtureFrozen freezes the shared fixture store's snapshot 0 once.
+func buildFixtureFrozen(t *testing.T) {
+	t.Helper()
+	if HasFrozen(fixStore, 0) {
+		return
+	}
+	snap, err := BuildFrozen(fixStore, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != 0 {
+		t.Fatalf("BuildFrozen froze snapshot %d, want 0", snap)
+	}
+}
+
+func TestFrozenRoundTripMatchesJSONPath(t *testing.T) {
+	buildFixtureFrozen(t)
+	if !HasFrozen(fixStore, 0) {
+		t.Fatal("HasFrozen = false after BuildFrozen")
+	}
+	if latest, err := LatestFrozen(fixStore); err != nil || latest != 0 {
+		t.Fatalf("LatestFrozen = %d, %v", latest, err)
+	}
+	fs, err := LoadFrozen(fixStore, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Snapshot != 0 {
+		t.Fatalf("loaded snapshot tag %d", fs.Snapshot)
+	}
+
+	companies, err := LoadCompanies(fixStore, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	investors, err := LoadInvestors(fixStore, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fs.Companies, companies) {
+		t.Fatal("frozen companies differ from the JSON merge")
+	}
+	if len(fs.Investors) != len(investors) {
+		t.Fatalf("investor counts differ: %d vs %d", len(fs.Investors), len(investors))
+	}
+	for i := range investors {
+		if fs.Investors[i].ID != investors[i].ID ||
+			fs.Investors[i].Follows != investors[i].Follows ||
+			!reflect.DeepEqual(fs.Investors[i].Investments, investors[i].Investments) {
+			t.Fatalf("investor %d differs: %+v vs %+v", i, fs.Investors[i], investors[i])
+		}
+	}
+
+	b := BuildInvestorGraph(investors)
+	if fs.Graph.NumLeft() != b.NumLeft() || fs.Graph.NumRight() != b.NumRight() || fs.Graph.NumEdges() != b.NumEdges() {
+		t.Fatal("frozen graph sizes differ from rebuilt graph")
+	}
+	for u := int32(0); int(u) < b.NumLeft(); u++ {
+		if fs.Graph.LeftLabel(u) != b.LeftLabel(u) {
+			t.Fatalf("left label %d differs", u)
+		}
+		fw, bw := fs.Graph.Fwd(u), b.Fwd(u)
+		if len(fw) != len(bw) {
+			t.Fatalf("fwd row %d length differs", u)
+		}
+		for i := range fw {
+			if fw[i] != bw[i] {
+				t.Fatalf("fwd row %d differs at %d", u, i)
+			}
+		}
+	}
+	for v := int32(0); int(v) < b.NumRight(); v++ {
+		if fs.Graph.RightLabel(v) != b.RightLabel(v) {
+			t.Fatalf("right label %d differs", v)
+		}
+	}
+}
+
+// TestFrozenAnalysesBitIdentical runs the snapshot's analyses on the
+// rebuilt graph and on the frozen CSR view and requires byte-identical
+// JSON serializations.
+func TestFrozenAnalysesBitIdentical(t *testing.T) {
+	buildFixtureFrozen(t)
+	fs, err := LoadFrozen(fixStore, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	investors, err := LoadInvestors(fixStore, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := BuildInvestorGraph(investors)
+	k := fixWorld.Cfg.NumCommunities()
+
+	fromBuilder, err := RunCommunitiesWorkers(b, 4, k, 31, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFrozen, err := RunCommunitiesWorkers(fs.Graph, 4, k, 31, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(fromBuilder.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := json.Marshal(fromFrozen.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(jb) != string(jf) {
+		t.Fatal("community assignments differ between builder and frozen graphs")
+	}
+	if fromBuilder.MeanSize != fromFrozen.MeanSize {
+		t.Fatal("community mean sizes differ")
+	}
+
+	gb, gf := InvestorGraphStats(b), InvestorGraphStats(fs.Graph)
+	if !reflect.DeepEqual(gb, gf) {
+		t.Fatalf("graph stats differ: %+v vs %+v", gb, gf)
+	}
+	f3b, f3f := RunFig3(investors), RunFig3(fs.Investors)
+	if !reflect.DeepEqual(f3b, f3f) {
+		t.Fatal("Fig3 differs between JSON and frozen investors")
+	}
+
+	f4b, err := RunFig4(fromBuilder, 3, 5000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4f, err := RunFig4(fromFrozen, 3, 5000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f4b, f4f) {
+		t.Fatal("Fig4 differs between builder and frozen graphs")
+	}
+}
+
+func TestFrozenRebuildReplacesArtifact(t *testing.T) {
+	buildFixtureFrozen(t)
+	// The escape hatch must be able to regenerate over an existing blob.
+	if _, err := BuildFrozen(fixStore, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFrozen(fixStore, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuerySourceFrozenNamespaces(t *testing.T) {
+	buildFixtureFrozen(t)
+	src := &QuerySource{Store: fixStore}
+
+	companies, err := LoadCompanies(fixStore, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := query.Run(src, "SELECT COUNT(*) AS n FROM frozen/snap-000000/companies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != float64(len(companies)) {
+		t.Fatalf("companies count = %v, want %d", res.Rows, len(companies))
+	}
+
+	investors, err := LoadInvestors(fixStore, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = query.Run(src, "SELECT COUNT(*) AS n FROM frozen/snap-000000/investors WHERE LEN(Investments) >= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != float64(len(investors)) {
+		t.Fatalf("investors count = %v, want %d", res.Rows, len(investors))
+	}
+
+	// Ordinary namespaces pass through to the store unchanged.
+	res, err = query.Run(src, "SELECT COUNT(*) AS n FROM angellist/startups")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("passthrough rows = %v", res.Rows)
+	}
+
+	if err := src.Scan("frozen/snap-000000/ghosts", func([]byte) error { return nil }); err == nil {
+		t.Fatal("unknown frozen table must error")
+	}
+	if err := src.Scan("frozen/oops", func([]byte) error { return nil }); err == nil {
+		t.Fatal("malformed frozen namespace must error")
+	}
+}
+
+func TestLongitudinalPreferFrozen(t *testing.T) {
+	st, w := longitudinalStore(t)
+	k := w.Cfg.NumCommunities()
+
+	causJSON, err := RunCausality(st, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynJSON, err := RunDynamics(st, 0, 1, 2, k, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, snap := range []int{0, 1} {
+		if _, err := BuildFrozen(st, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	causFrozen, err := RunCausality(st, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynFrozen, err := RunDynamics(st, 0, 1, 2, k, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(causJSON, causFrozen) {
+		t.Fatalf("causality differs: %+v vs %+v", causJSON, causFrozen)
+	}
+	if !reflect.DeepEqual(dynJSON, dynFrozen) {
+		t.Fatalf("dynamics differs: %+v vs %+v", dynJSON, dynFrozen)
+	}
+}

@@ -31,7 +31,7 @@ type GraphStats struct {
 }
 
 // InvestorGraphStats computes the Section 5.1 statistics.
-func InvestorGraphStats(b *graph.Bipartite) GraphStats {
+func InvestorGraphStats(b graph.BipartiteView) GraphStats {
 	st := GraphStats{
 		Investors: b.NumLeft(),
 		Companies: b.NumRight(),

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"crowdscope/internal/store"
+)
+
+// QuerySource adapts a store for the query layer (it satisfies
+// query.Source) and projects every frozen snapshot's decoded columns as
+// virtual JSON namespaces, so the interactive query language reaches the
+// frozen artifacts without a JSON rebuild:
+//
+//	frozen/snap-NNNNNN/companies   one record per merged Company
+//	frozen/snap-NNNNNN/investors   one record per merged Investor
+//
+// Any other namespace scans the underlying store unchanged.
+type QuerySource struct {
+	Store *store.Store
+}
+
+// Scan streams the namespace's records as JSON payloads.
+func (q *QuerySource) Scan(ns string, fn func(payload []byte) error) error {
+	if rest, ok := strings.CutPrefix(ns, "frozen/"); ok {
+		parts := strings.SplitN(rest, "/", 2)
+		var snap int
+		if len(parts) == 2 {
+			if _, err := fmt.Sscanf(parts[0], "snap-%d", &snap); err == nil {
+				return q.scanFrozen(snap, parts[1], fn)
+			}
+		}
+		return fmt.Errorf("core: malformed frozen namespace %q (want frozen/snap-N/{companies,investors})", ns)
+	}
+	return q.Store.Scan(ns, fn)
+}
+
+func (q *QuerySource) scanFrozen(snap int, table string, fn func(payload []byte) error) error {
+	fs, err := LoadFrozen(q.Store, snap)
+	if err != nil {
+		return err
+	}
+	emit := func(v any) error {
+		payload, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		return fn(payload)
+	}
+	switch table {
+	case "companies":
+		for i := range fs.Companies {
+			if err := emit(&fs.Companies[i]); err != nil {
+				return err
+			}
+		}
+	case "investors":
+		for i := range fs.Investors {
+			if err := emit(&fs.Investors[i]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("core: unknown frozen table %q (want companies or investors)", table)
+	}
+	return nil
+}

@@ -148,35 +148,13 @@ func (b *Bipartite) SortAdjacency() {
 // applies this with min = 4 before community detection to make clusters
 // statistically meaningful.
 func (b *Bipartite) FilterLeftMinDegree(min int) *Bipartite {
-	nb := NewBipartite(b.NumLeft(), b.NumRight())
-	for u := int32(0); int(u) < b.NumLeft(); u++ {
-		if len(b.fwd[u]) < min {
-			continue
-		}
-		for _, v := range b.fwd[u] {
-			nb.AddEdge(b.leftLabels[u], b.rightLabels[v])
-		}
-	}
-	return nb
+	return FilterLeftMinDegree(b, min)
 }
 
-// ToDirected converts the bipartite graph into a Directed graph whose node
-// label space is the union of left and right labels, prefixed to avoid
-// collisions ("L:" and "R:"). CoDA and SBM operate on this representation.
+// ToDirected converts the bipartite graph into a Directed graph; see the
+// package-level ToDirected.
 func (b *Bipartite) ToDirected() *Directed {
-	g := NewDirected(b.NumLeft() + b.NumRight())
-	for u := int32(0); int(u) < b.NumLeft(); u++ {
-		g.AddNode("L:" + b.leftLabels[u])
-	}
-	for v := int32(0); int(v) < b.NumRight(); v++ {
-		g.AddNode("R:" + b.rightLabels[v])
-	}
-	for u := int32(0); int(u) < b.NumLeft(); u++ {
-		for _, v := range b.fwd[u] {
-			g.AddEdge("L:"+b.leftLabels[u], "R:"+b.rightLabels[v])
-		}
-	}
-	return g
+	return ToDirected(b)
 }
 
 // Validate checks the fwd/rev mirror invariant and edge accounting.

@@ -4,7 +4,9 @@ package graph
 // connectivity and centrality as predictive features for startup success
 // ("a high measure of centrality would indicate the ability of a firm to
 // bridge investors to potential customers"). This file implements the
-// standard suite over the Directed graph.
+// standard suite over the read-only View interface, so every kernel runs
+// unchanged on the mutable Directed builder and on Frozen snapshots; the
+// Directed methods are thin wrappers kept for convenience.
 //
 // The heavy kernels (Brandes betweenness, harmonic closeness, PageRank)
 // decompose per source / per node-range and run on the shared
@@ -18,7 +20,7 @@ package graph
 import "crowdscope/internal/parallel"
 
 // DegreeCentrality returns (in+out degree) / (n-1) per node; 0 for n <= 1.
-func (g *Directed) DegreeCentrality() []float64 {
+func DegreeCentrality(g View) []float64 {
 	n := g.NumNodes()
 	out := make([]float64, n)
 	if n <= 1 {
@@ -26,22 +28,30 @@ func (g *Directed) DegreeCentrality() []float64 {
 	}
 	denom := float64(n - 1)
 	for i := 0; i < n; i++ {
-		out[i] = float64(len(g.out[i])+len(g.in[i])) / denom
+		out[i] = float64(g.OutDegree(int32(i))+g.InDegree(int32(i))) / denom
 	}
 	return out
 }
+
+// DegreeCentrality returns (in+out degree) / (n-1) per node; 0 for n <= 1.
+func (g *Directed) DegreeCentrality() []float64 { return DegreeCentrality(g) }
 
 // ClosenessCentrality returns the harmonic closeness of each node over
 // out-edges: sum over reachable targets of 1/d(u,t), normalized by (n-1).
 // Harmonic closeness handles disconnected graphs gracefully.
 func (g *Directed) ClosenessCentrality() []float64 {
-	return g.ClosenessCentralityWorkers(0)
+	return ClosenessCentralityWorkers(g, 0)
+}
+
+// ClosenessCentralityWorkers delegates to the View kernel.
+func (g *Directed) ClosenessCentralityWorkers(workers int) []float64 {
+	return ClosenessCentralityWorkers(g, workers)
 }
 
 // ClosenessCentralityWorkers is ClosenessCentrality under an explicit
 // worker bound. Sources are independent (each writes only its own slot),
 // so the result is identical for every worker count.
-func (g *Directed) ClosenessCentralityWorkers(workers int) []float64 {
+func ClosenessCentralityWorkers(g View, workers int) []float64 {
 	n := g.NumNodes()
 	out := make([]float64, n)
 	if n <= 1 {
@@ -102,7 +112,12 @@ func (sc *bfsScratch) bfs(csr *CSR, s int32) {
 // and iteration/tolerance limits. Dangling-node mass is redistributed
 // uniformly. Scores sum to 1.
 func (g *Directed) PageRank(damping float64, maxIter int, tol float64) []float64 {
-	return g.PageRankWorkers(damping, maxIter, tol, 0)
+	return PageRankWorkers(g, damping, maxIter, tol, 0)
+}
+
+// PageRankWorkers delegates to the View kernel.
+func (g *Directed) PageRankWorkers(damping float64, maxIter int, tol float64, workers int) []float64 {
+	return PageRankWorkers(g, damping, maxIter, tol, workers)
 }
 
 // pageRankChunk is the fixed node-range size PageRank partitions over.
@@ -115,7 +130,7 @@ const pageRankChunk = 2048
 // is pull-based: each node gathers rank/outdegree from its in-neighbors
 // over the cache-local InCSR view, making node ranges embarrassingly
 // parallel with no scatter races.
-func (g *Directed) PageRankWorkers(damping float64, maxIter int, tol float64, workers int) []float64 {
+func PageRankWorkers(g View, damping float64, maxIter int, tol float64, workers int) []float64 {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil
@@ -123,7 +138,7 @@ func (g *Directed) PageRankWorkers(damping float64, maxIter int, tol float64, wo
 	inCSR := g.InCSR()
 	outDeg := make([]float64, n)
 	for i := range outDeg {
-		outDeg[i] = float64(len(g.out[i]))
+		outDeg[i] = float64(g.OutDegree(int32(i)))
 	}
 	rank := make([]float64, n)
 	next := make([]float64, n)
@@ -193,7 +208,12 @@ func (g *Directed) PageRankWorkers(damping float64, maxIter int, tol float64, wo
 // across the shared pool — the SNAP-style parallelization that makes this
 // usable beyond the per-community subgraphs.
 func (g *Directed) BetweennessCentrality() []float64 {
-	return g.BetweennessCentralityWorkers(0)
+	return BetweennessCentralityWorkers(g, 0)
+}
+
+// BetweennessCentralityWorkers delegates to the View kernel.
+func (g *Directed) BetweennessCentralityWorkers(workers int) []float64 {
+	return BetweennessCentralityWorkers(g, workers)
 }
 
 // BetweennessCentralityWorkers is BetweennessCentrality under an explicit
@@ -202,7 +222,7 @@ func (g *Directed) BetweennessCentrality() []float64 {
 // accumulator serialized in source order, so the floating-point sum order
 // matches the serial algorithm exactly and the output is bit-identical
 // for every worker count.
-func (g *Directed) BetweennessCentralityWorkers(workers int) []float64 {
+func BetweennessCentralityWorkers(g View, workers int) []float64 {
 	n := g.NumNodes()
 	bc := make([]float64, n)
 	if n == 0 {

@@ -15,7 +15,7 @@ type DegreeShare struct {
 
 // LeftDegreeShares computes the degree-concentration rows for the given
 // thresholds over the bipartite graph's left side.
-func LeftDegreeShares(b *Bipartite, thresholds []int) []DegreeShare {
+func LeftDegreeShares(b BipartiteView, thresholds []int) []DegreeShare {
 	out := make([]DegreeShare, 0, len(thresholds))
 	totalNodes := b.NumLeft()
 	totalEdges := b.NumEdges()
@@ -42,7 +42,7 @@ func LeftDegreeShares(b *Bipartite, thresholds []int) []DegreeShare {
 
 // LeftOutDegrees returns every left node's out-degree, for CDF estimation
 // (Figure 3 plots this distribution for investors).
-func LeftOutDegrees(b *Bipartite) []int {
+func LeftOutDegrees(b BipartiteView) []int {
 	out := make([]int, b.NumLeft())
 	for u := range out {
 		out[u] = b.OutDegree(int32(u))
@@ -52,7 +52,7 @@ func LeftOutDegrees(b *Bipartite) []int {
 
 // RightInDegrees returns every right node's in-degree (investors per
 // company; the paper reports an average of 2.6).
-func RightInDegrees(b *Bipartite) []int {
+func RightInDegrees(b BipartiteView) []int {
 	out := make([]int, b.NumRight())
 	for v := range out {
 		out[v] = b.InDegree(int32(v))

@@ -1,0 +1,250 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Frozen is an immutable directed graph backed directly by flat arrays —
+// the in-memory shape of a loaded snapshot. Construction is O(1) in graph
+// size when the CSR arrays already exist (nothing is copied or rebuilt);
+// the label→index map is built lazily on the first Index call. A Frozen
+// is safe for concurrent use.
+type Frozen struct {
+	labels []string
+	out    *CSR
+	in     *CSR
+
+	indexOnce sync.Once
+	index     map[string]int32
+}
+
+// NewFrozen wraps node labels and out/in CSR adjacency into a read-only
+// graph. The arrays are adopted, not copied; callers must not mutate them
+// afterwards. Offsets and labels must agree on the node count, and the
+// two CSRs must carry the same number of edges.
+func NewFrozen(labels []string, out, in *CSR) (*Frozen, error) {
+	if out.NumNodes() != len(labels) || in.NumNodes() != len(labels) {
+		return nil, fmt.Errorf("graph: frozen node counts disagree (labels=%d out=%d in=%d)",
+			len(labels), out.NumNodes(), in.NumNodes())
+	}
+	if len(out.Targets) != len(in.Targets) {
+		return nil, fmt.Errorf("graph: frozen edge counts disagree (out=%d in=%d)",
+			len(out.Targets), len(in.Targets))
+	}
+	return &Frozen{labels: labels, out: out, in: in}, nil
+}
+
+// Freeze snapshots a Directed graph into its immutable flat-array form.
+// Adjacency order is preserved exactly, so every View algorithm produces
+// bit-identical results on the frozen copy.
+func Freeze(g *Directed) *Frozen {
+	labels := make([]string, g.NumNodes())
+	copy(labels, g.labels)
+	f, err := NewFrozen(labels, buildCSR(g.out, g.edges), buildCSR(g.in, g.edges))
+	if err != nil {
+		// Unreachable: Directed maintains the mirror invariant.
+		panic(err)
+	}
+	return f
+}
+
+// NumNodes returns the node count.
+func (f *Frozen) NumNodes() int { return len(f.labels) }
+
+// NumEdges returns the edge count.
+func (f *Frozen) NumEdges() int { return len(f.out.Targets) }
+
+// Label returns the label of node idx.
+func (f *Frozen) Label(idx int32) string { return f.labels[idx] }
+
+// Index returns the dense index for a label, if present. The lookup map
+// is built once, on first use.
+func (f *Frozen) Index(label string) (int32, bool) {
+	f.indexOnce.Do(func() {
+		f.index = make(map[string]int32, len(f.labels))
+		for i, l := range f.labels {
+			f.index[l] = int32(i)
+		}
+	})
+	idx, ok := f.index[label]
+	return idx, ok
+}
+
+// Out returns the out-neighbors of node idx. The slice aliases the frozen
+// arrays and must not be modified.
+func (f *Frozen) Out(idx int32) []int32 { return f.out.Row(idx) }
+
+// In returns the in-neighbors of node idx. The slice aliases the frozen
+// arrays and must not be modified.
+func (f *Frozen) In(idx int32) []int32 { return f.in.Row(idx) }
+
+// OutDegree returns the out-degree of node idx.
+func (f *Frozen) OutDegree(idx int32) int { return f.out.Degree(idx) }
+
+// InDegree returns the in-degree of node idx.
+func (f *Frozen) InDegree(idx int32) int { return f.in.Degree(idx) }
+
+// OutCSR returns the out-adjacency arrays themselves — no rebuild.
+func (f *Frozen) OutCSR() *CSR { return f.out }
+
+// InCSR returns the in-adjacency arrays themselves — no rebuild.
+func (f *Frozen) InCSR() *CSR { return f.in }
+
+// Labels returns a copy of all node labels in index order.
+func (f *Frozen) Labels() []string {
+	out := make([]string, len(f.labels))
+	copy(out, f.labels)
+	return out
+}
+
+// FrozenBipartite is the immutable two-mode counterpart of Frozen: left
+// and right label tables plus fwd (left→right) and rev (right→left) CSR
+// adjacency, exactly as loaded from a snapshot. Safe for concurrent use.
+type FrozenBipartite struct {
+	leftLabels  []string
+	rightLabels []string
+	fwd         *CSR
+	rev         *CSR
+	// sortedRows records whether every fwd row is ascending, deciding
+	// whether HasEdge may binary-search.
+	sortedRows bool
+
+	leftOnce  sync.Once
+	leftIdx   map[string]int32
+	rightOnce sync.Once
+	rightIdx  map[string]int32
+}
+
+// NewFrozenBipartite wraps label tables and CSR adjacency into a
+// read-only bipartite graph. Arrays are adopted, not copied.
+func NewFrozenBipartite(leftLabels, rightLabels []string, fwd, rev *CSR) (*FrozenBipartite, error) {
+	if fwd.NumNodes() != len(leftLabels) {
+		return nil, fmt.Errorf("graph: frozen bipartite left counts disagree (labels=%d fwd=%d)",
+			len(leftLabels), fwd.NumNodes())
+	}
+	if rev.NumNodes() != len(rightLabels) {
+		return nil, fmt.Errorf("graph: frozen bipartite right counts disagree (labels=%d rev=%d)",
+			len(rightLabels), rev.NumNodes())
+	}
+	if len(fwd.Targets) != len(rev.Targets) {
+		return nil, fmt.Errorf("graph: frozen bipartite edge counts disagree (fwd=%d rev=%d)",
+			len(fwd.Targets), len(rev.Targets))
+	}
+	fb := &FrozenBipartite{leftLabels: leftLabels, rightLabels: rightLabels, fwd: fwd, rev: rev}
+	fb.sortedRows = csrRowsSorted(fwd)
+	return fb, nil
+}
+
+// FreezeBipartite snapshots a Bipartite into its immutable flat-array
+// form, preserving adjacency order exactly.
+func FreezeBipartite(b *Bipartite) *FrozenBipartite {
+	left := make([]string, b.NumLeft())
+	copy(left, b.leftLabels)
+	right := make([]string, b.NumRight())
+	copy(right, b.rightLabels)
+	fb, err := NewFrozenBipartite(left, right, buildCSR(b.fwd, b.edges), buildCSR(b.rev, b.edges))
+	if err != nil {
+		// Unreachable: Bipartite maintains the mirror invariant.
+		panic(err)
+	}
+	return fb
+}
+
+// NumLeft returns the number of left (investor) nodes.
+func (f *FrozenBipartite) NumLeft() int { return len(f.leftLabels) }
+
+// NumRight returns the number of right (company) nodes.
+func (f *FrozenBipartite) NumRight() int { return len(f.rightLabels) }
+
+// NumEdges returns the number of edges.
+func (f *FrozenBipartite) NumEdges() int { return len(f.fwd.Targets) }
+
+// LeftLabel returns the label of left node idx.
+func (f *FrozenBipartite) LeftLabel(idx int32) string { return f.leftLabels[idx] }
+
+// RightLabel returns the label of right node idx.
+func (f *FrozenBipartite) RightLabel(idx int32) string { return f.rightLabels[idx] }
+
+// LeftIndex resolves a left label; the lookup map is built on first use.
+func (f *FrozenBipartite) LeftIndex(label string) (int32, bool) {
+	f.leftOnce.Do(func() {
+		f.leftIdx = make(map[string]int32, len(f.leftLabels))
+		for i, l := range f.leftLabels {
+			f.leftIdx[l] = int32(i)
+		}
+	})
+	idx, ok := f.leftIdx[label]
+	return idx, ok
+}
+
+// RightIndex resolves a right label; the lookup map is built on first use.
+func (f *FrozenBipartite) RightIndex(label string) (int32, bool) {
+	f.rightOnce.Do(func() {
+		f.rightIdx = make(map[string]int32, len(f.rightLabels))
+		for i, l := range f.rightLabels {
+			f.rightIdx[l] = int32(i)
+		}
+	})
+	idx, ok := f.rightIdx[label]
+	return idx, ok
+}
+
+// Fwd returns the right-neighbors of left node idx. The slice aliases the
+// frozen arrays and must not be modified.
+func (f *FrozenBipartite) Fwd(idx int32) []int32 { return f.fwd.Row(idx) }
+
+// Rev returns the left-neighbors of right node idx. The slice aliases the
+// frozen arrays and must not be modified.
+func (f *FrozenBipartite) Rev(idx int32) []int32 { return f.rev.Row(idx) }
+
+// OutDegree returns the out-degree of a left node.
+func (f *FrozenBipartite) OutDegree(idx int32) int { return f.fwd.Degree(idx) }
+
+// InDegree returns the in-degree of a right node.
+func (f *FrozenBipartite) InDegree(idx int32) int { return f.rev.Degree(idx) }
+
+// FwdCSR returns the left→right adjacency arrays themselves.
+func (f *FrozenBipartite) FwdCSR() *CSR { return f.fwd }
+
+// RevCSR returns the right→left adjacency arrays themselves.
+func (f *FrozenBipartite) RevCSR() *CSR { return f.rev }
+
+// HasEdge reports whether the labeled edge exists. Sorted rows (the
+// normal case — snapshots are written after SortAdjacency) are binary-
+// searched; unsorted rows fall back to a linear scan.
+func (f *FrozenBipartite) HasEdge(left, right string) bool {
+	u, ok := f.LeftIndex(left)
+	if !ok {
+		return false
+	}
+	r, ok := f.RightIndex(right)
+	if !ok {
+		return false
+	}
+	row := f.fwd.Row(u)
+	if f.sortedRows {
+		i := sort.Search(len(row), func(i int) bool { return row[i] >= r })
+		return i < len(row) && row[i] == r
+	}
+	for _, v := range row {
+		if v == r {
+			return true
+		}
+	}
+	return false
+}
+
+// csrRowsSorted reports whether every row of c is ascending.
+func csrRowsSorted(c *CSR) bool {
+	for u := 0; u < c.NumNodes(); u++ {
+		row := c.Row(int32(u))
+		for i := 1; i < len(row); i++ {
+			if row[i-1] > row[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestFrozenMatchesDirected(t *testing.T) {
+	g := randomDirected(60, 0.08, 7)
+	f := Freeze(g)
+	if f.NumNodes() != g.NumNodes() || f.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes: %d/%d vs %d/%d", f.NumNodes(), f.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		if f.Label(u) != g.Label(u) {
+			t.Fatalf("label %d differs", u)
+		}
+		if f.OutDegree(u) != g.OutDegree(u) || f.InDegree(u) != g.InDegree(u) {
+			t.Fatalf("degrees differ at %d", u)
+		}
+		fo, fi := f.Out(u), f.In(u)
+		go_, gi := g.Out(u), g.In(u)
+		for i := range fo {
+			if fo[i] != go_[i] {
+				t.Fatalf("out row %d differs", u)
+			}
+		}
+		for i := range fi {
+			if fi[i] != gi[i] {
+				t.Fatalf("in row %d differs", u)
+			}
+		}
+		if idx, ok := f.Index(g.Label(u)); !ok || idx != u {
+			t.Fatalf("Index(%q) = %d,%v", g.Label(u), idx, ok)
+		}
+	}
+	if _, ok := f.Index("no-such-node"); ok {
+		t.Fatal("Index found a nonexistent label")
+	}
+}
+
+// TestFrozenKernelsBitIdentical is the heart of the frozen contract:
+// every analysis kernel must produce byte-identical float output on the
+// mutable builder and its frozen snapshot.
+func TestFrozenKernelsBitIdentical(t *testing.T) {
+	g := randomDirected(80, 0.08, 11)
+	f := Freeze(g)
+	pairs := []struct {
+		name     string
+		from     func(View) []float64
+	}{
+		{"degree", func(v View) []float64 { return DegreeCentrality(v) }},
+		{"closeness", func(v View) []float64 { return ClosenessCentralityWorkers(v, 3) }},
+		{"pagerank", func(v View) []float64 { return PageRankWorkers(v, 0.85, 50, 1e-9, 3) }},
+		{"betweenness", func(v View) []float64 { return BetweennessCentralityWorkers(v, 3) }},
+	}
+	for _, p := range pairs {
+		want := p.from(g)
+		got := p.from(f)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s differs between Directed and Frozen", p.name)
+		}
+	}
+	wcG, nG := WeaklyConnectedComponents(g)
+	wcF, nF := WeaklyConnectedComponents(f)
+	if nG != nF || !reflect.DeepEqual(wcG, wcF) {
+		t.Fatal("weakly connected components differ")
+	}
+	if !reflect.DeepEqual(ShortestPathLengths(g, 0), ShortestPathLengths(f, 0)) {
+		t.Fatal("shortest path lengths differ")
+	}
+}
+
+func TestNewFrozenValidates(t *testing.T) {
+	if _, err := NewFrozen([]string{"a", "b"},
+		&CSR{Offsets: []int64{0, 1}, Targets: []int32{1}},
+		&CSR{Offsets: []int64{0, 0, 1}, Targets: []int32{0}}); err == nil {
+		t.Fatal("mismatched out-CSR row count must fail")
+	}
+	if _, err := NewFrozen([]string{"a", "b"},
+		&CSR{Offsets: []int64{0, 1, 1}, Targets: []int32{1}},
+		&CSR{Offsets: []int64{0, 0, 2}, Targets: []int32{0, 0}}); err == nil {
+		t.Fatal("edge-count disagreement between out and in must fail")
+	}
+}
+
+func TestFrozenBipartiteMatchesBuilder(t *testing.T) {
+	b := NewBipartite(8, 32)
+	edges := [][2]string{
+		{"i1", "c1"}, {"i1", "c2"}, {"i1", "c3"},
+		{"i2", "c2"}, {"i2", "c3"},
+		{"i3", "c1"}, {"i3", "c4"},
+		{"i4", "c4"},
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	b.SortAdjacency()
+	f := FreezeBipartite(b)
+	if f.NumLeft() != b.NumLeft() || f.NumRight() != b.NumRight() || f.NumEdges() != b.NumEdges() {
+		t.Fatal("sizes differ")
+	}
+	for _, e := range edges {
+		if !f.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+	if f.HasEdge("i4", "c1") || f.HasEdge("ghost", "c1") || f.HasEdge("i1", "ghost") {
+		t.Fatal("HasEdge invented an edge")
+	}
+	for u := int32(0); int(u) < b.NumLeft(); u++ {
+		if f.LeftLabel(u) != b.LeftLabel(u) || f.OutDegree(u) != b.OutDegree(u) {
+			t.Fatalf("left node %d differs", u)
+		}
+	}
+	for v := int32(0); int(v) < b.NumRight(); v++ {
+		if f.RightLabel(v) != b.RightLabel(v) || f.InDegree(v) != b.InDegree(v) {
+			t.Fatalf("right node %d differs", v)
+		}
+	}
+	bIdx, bOK := b.LeftIndex("i3")
+	if idx, ok := f.LeftIndex("i3"); !ok || !bOK || idx != bIdx {
+		t.Fatalf("LeftIndex(i3) = %d,%v (builder %d,%v)", idx, ok, bIdx, bOK)
+	}
+	if idx, ok := f.RightIndex("c4"); !ok || idx < 0 {
+		t.Fatalf("RightIndex(c4) = %d,%v", idx, ok)
+	}
+}
+
+// TestFilterAndProjectFromFrozen checks that derived graphs built off a
+// frozen view equal the ones built off the mutable builder: same
+// filtering, same projection, same traversal results.
+func TestFilterAndProjectFromFrozen(t *testing.T) {
+	b := NewBipartite(16, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		b.AddEdge("inv-"+itoa(rng.Intn(12)), "co-"+itoa(rng.Intn(20)))
+	}
+	b.SortAdjacency()
+	f := FreezeBipartite(b)
+
+	fb := FilterLeftMinDegree(b, 2)
+	ff := FilterLeftMinDegree(f, 2)
+	if fb.NumLeft() != ff.NumLeft() || fb.NumRight() != ff.NumRight() || fb.NumEdges() != ff.NumEdges() {
+		t.Fatal("filtered sizes differ")
+	}
+	for u := int32(0); int(u) < fb.NumLeft(); u++ {
+		if fb.LeftLabel(u) != ff.LeftLabel(u) || !reflect.DeepEqual(fb.Fwd(u), ff.Fwd(u)) {
+			t.Fatalf("filtered row %d differs", u)
+		}
+	}
+
+	db := ToDirected(b)
+	df := ToDirected(f)
+	if db.NumNodes() != df.NumNodes() || db.NumEdges() != df.NumEdges() {
+		t.Fatal("ToDirected sizes differ")
+	}
+	if !reflect.DeepEqual(PageRankWorkers(db, 0.85, 30, 1e-9, 2), PageRankWorkers(df, 0.85, 30, 1e-9, 2)) {
+		t.Fatal("PageRank over derived directed graphs differs")
+	}
+}

@@ -16,7 +16,7 @@ type WeightedEdge struct {
 //
 // Complexity is sum over right nodes of deg^2, which is fine for the
 // paper's avg in-degree of 2.6.
-func ProjectLeft(b *Bipartite, minShared int) []WeightedEdge {
+func ProjectLeft(b BipartiteView, minShared int) []WeightedEdge {
 	if minShared < 1 {
 		minShared = 1
 	}
@@ -52,7 +52,7 @@ func ProjectLeft(b *Bipartite, minShared int) []WeightedEdge {
 // investment size" between two investors — assuming SortAdjacency has been
 // called (it falls back to a map otherwise via sortedIntersect semantics
 // only if sorted; callers in this repo always sort first).
-func SharedRightCount(b *Bipartite, a, c int32) int {
+func SharedRightCount(b BipartiteView, a, c int32) int {
 	return sortedIntersectLen(b.Fwd(a), b.Fwd(c))
 }
 

@@ -3,7 +3,7 @@ package graph
 // BFSFrom performs a breadth-first traversal from the start index following
 // out-edges, invoking visit(node, depth) for each reachable node including
 // the start. Traversal stops early if visit returns false.
-func (g *Directed) BFSFrom(start int32, visit func(node int32, depth int) bool) {
+func BFSFrom(g View, start int32, visit func(node int32, depth int) bool) {
 	if int(start) >= g.NumNodes() {
 		return
 	}
@@ -17,7 +17,7 @@ func (g *Directed) BFSFrom(start int32, visit func(node int32, depth int) bool) 
 			if !visit(u, depth) {
 				return
 			}
-			for _, v := range g.out[u] {
+			for _, v := range g.Out(u) {
 				if !visited[v] {
 					visited[v] = true
 					next = append(next, v)
@@ -29,10 +29,15 @@ func (g *Directed) BFSFrom(start int32, visit func(node int32, depth int) bool) 
 	}
 }
 
+// BFSFrom delegates to the View traversal.
+func (g *Directed) BFSFrom(start int32, visit func(node int32, depth int) bool) {
+	BFSFrom(g, start, visit)
+}
+
 // WeaklyConnectedComponents returns the component id of each node, treating
 // edges as undirected, plus the number of components. Component ids are
 // assigned in order of first discovery.
-func (g *Directed) WeaklyConnectedComponents() ([]int32, int) {
+func WeaklyConnectedComponents(g View) ([]int32, int) {
 	n := g.NumNodes()
 	comp := make([]int32, n)
 	for i := range comp {
@@ -51,13 +56,13 @@ func (g *Directed) WeaklyConnectedComponents() ([]int32, int) {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, v := range g.out[u] {
+			for _, v := range g.Out(u) {
 				if comp[v] < 0 {
 					comp[v] = id
 					stack = append(stack, v)
 				}
 			}
-			for _, v := range g.in[u] {
+			for _, v := range g.In(u) {
 				if comp[v] < 0 {
 					comp[v] = id
 					stack = append(stack, v)
@@ -68,10 +73,15 @@ func (g *Directed) WeaklyConnectedComponents() ([]int32, int) {
 	return comp, int(nComp)
 }
 
+// WeaklyConnectedComponents delegates to the View traversal.
+func (g *Directed) WeaklyConnectedComponents() ([]int32, int) {
+	return WeaklyConnectedComponents(g)
+}
+
 // ShortestPathLengths runs an unweighted single-source shortest-path BFS
 // over out-edges and returns the distance to every node (-1 when
 // unreachable).
-func (g *Directed) ShortestPathLengths(start int32) []int32 {
+func ShortestPathLengths(g View, start int32) []int32 {
 	dist := make([]int32, g.NumNodes())
 	for i := range dist {
 		dist[i] = -1
@@ -84,7 +94,7 @@ func (g *Directed) ShortestPathLengths(start int32) []int32 {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.out[u] {
+		for _, v := range g.Out(u) {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)
@@ -92,4 +102,9 @@ func (g *Directed) ShortestPathLengths(start int32) []int32 {
 		}
 	}
 	return dist
+}
+
+// ShortestPathLengths delegates to the View traversal.
+func (g *Directed) ShortestPathLengths(start int32) []int32 {
+	return ShortestPathLengths(g, start)
 }

@@ -24,7 +24,7 @@ import (
 // SharedSizes returns the shared investment size of every unordered pair
 // of the given investors (left indices). The graph's adjacency must be
 // sorted (graph.Bipartite.SortAdjacency). The result has n(n-1)/2 entries.
-func SharedSizes(b *graph.Bipartite, investors []int32) []float64 {
+func SharedSizes(b graph.BipartiteView, investors []int32) []float64 {
 	var out []float64
 	for i := 0; i < len(investors); i++ {
 		for j := i + 1; j < len(investors); j++ {
@@ -37,7 +37,7 @@ func SharedSizes(b *graph.Bipartite, investors []int32) []float64 {
 // AvgSharedSize is the community-strength score: the mean pairwise shared
 // investment size (the paper's strongest community scores 2.1, its weak
 // example 0.018). Communities with fewer than two members score 0.
-func AvgSharedSize(b *graph.Bipartite, investors []int32) float64 {
+func AvgSharedSize(b graph.BipartiteView, investors []int32) float64 {
 	if len(investors) < 2 {
 		return 0
 	}
@@ -54,7 +54,7 @@ func AvgSharedSize(b *graph.Bipartite, investors []int32) float64 {
 
 // SampledAvgSharedSize estimates AvgSharedSize from at most maxPairs
 // sampled pairs — the ablation A3 trade-off for very large communities.
-func SampledAvgSharedSize(b *graph.Bipartite, investors []int32, maxPairs int, rng *rand.Rand) float64 {
+func SampledAvgSharedSize(b graph.BipartiteView, investors []int32, maxPairs int, rng *rand.Rand) float64 {
 	n := len(investors)
 	if n < 2 {
 		return 0
@@ -78,7 +78,7 @@ func SampledAvgSharedSize(b *graph.Bipartite, investors []int32, maxPairs int, r
 // in range order, so the estimate is bit-identical for every worker
 // count. When the community has at most maxPairs pairs the exact
 // AvgSharedSize is computed in parallel over rows instead.
-func SampledAvgSharedSizeParallel(b *graph.Bipartite, investors []int32, maxPairs int, seed int64, workers int) float64 {
+func SampledAvgSharedSizeParallel(b graph.BipartiteView, investors []int32, maxPairs int, seed int64, workers int) float64 {
 	n := len(investors)
 	if n < 2 {
 		return 0
@@ -131,7 +131,7 @@ const pairChunk = 4096
 // SharedCompanyPct returns the percentage (0-100) of companies invested
 // in by the community that have at least k community investors — the
 // paper's second metric. In Figure 8a, K=2 gives 100%; in Figure 8b, 25%.
-func SharedCompanyPct(b *graph.Bipartite, investors []int32, k int) float64 {
+func SharedCompanyPct(b graph.BipartiteView, investors []int32, k int) float64 {
 	counts := map[int32]int{}
 	for _, u := range investors {
 		for _, v := range b.Fwd(u) {
@@ -154,7 +154,7 @@ func SharedCompanyPct(b *graph.Bipartite, investors []int32, k int) float64 {
 // graph and returns their shared investment sizes — the estimated global
 // CDF of Figure 4 (the paper samples 800,000 pairs and invokes
 // Glivenko–Cantelli/DKW for the 0.0196 accuracy band).
-func GlobalPairSample(b *graph.Bipartite, n int, rng *rand.Rand) ([]float64, error) {
+func GlobalPairSample(b graph.BipartiteView, n int, rng *rand.Rand) ([]float64, error) {
 	if b.NumLeft() < 2 {
 		return nil, fmt.Errorf("metrics: need at least 2 investors, have %d", b.NumLeft())
 	}
@@ -172,7 +172,7 @@ func GlobalPairSample(b *graph.Bipartite, n int, rng *rand.Rand) ([]float64, err
 // pair stream identified by seed: sample k is a pure function of
 // (seed, k), so workers fill disjoint slices of the output and the
 // result — including its order — is identical for every worker count.
-func GlobalPairSampleParallel(b *graph.Bipartite, n int, seed int64, workers int) ([]float64, error) {
+func GlobalPairSampleParallel(b graph.BipartiteView, n int, seed int64, workers int) ([]float64, error) {
 	if b.NumLeft() < 2 {
 		return nil, fmt.Errorf("metrics: need at least 2 investors, have %d", b.NumLeft())
 	}
@@ -197,7 +197,7 @@ func GlobalPairSampleParallel(b *graph.Bipartite, n int, seed int64, workers int
 // RandomizedPctBaseline builds random investor groups matching the given
 // sizes and returns the mean SharedCompanyPct across them — the paper's
 // randomized-community comparison (5.8% vs 23.1% for real communities).
-func RandomizedPctBaseline(b *graph.Bipartite, sizes []int, k int, rng *rand.Rand) float64 {
+func RandomizedPctBaseline(b graph.BipartiteView, sizes []int, k int, rng *rand.Rand) float64 {
 	if len(sizes) == 0 || b.NumLeft() == 0 {
 		return 0
 	}
@@ -227,7 +227,7 @@ type CommunityScore struct {
 // RankCommunities scores every community by average shared investment
 // size (descending), attaching the K=2 shared-company percentage. Used to
 // pick the "strong" and "weak" communities of Figure 7.
-func RankCommunities(b *graph.Bipartite, communities [][]int32) []CommunityScore {
+func RankCommunities(b graph.BipartiteView, communities [][]int32) []CommunityScore {
 	scores := make([]CommunityScore, len(communities))
 	for i, members := range communities {
 		scores[i] = CommunityScore{

@@ -16,34 +16,44 @@ type Result struct {
 	Rows    [][]any
 }
 
-// Run parses and executes a statement against the store on the
+// Source is what a query reads from: anything that can stream a
+// namespace's records as JSON payloads. *store.Store satisfies it
+// directly; core's frozen query source additionally projects frozen
+// snapshot columns as virtual namespaces.
+type Source interface {
+	Scan(ns string, fn func(payload []byte) error) error
+}
+
+var _ Source = (*store.Store)(nil)
+
+// Run parses and executes a statement against the source on the
 // process-default executor.
-func Run(st *store.Store, statement string) (*Result, error) {
-	return RunWith(st, statement, dataflow.NewExecutor(0))
+func Run(src Source, statement string) (*Result, error) {
+	return RunWith(src, statement, dataflow.NewExecutor(0))
 }
 
 // RunWith is Run under a specific dataflow executor, bounding the
 // parallelism of the filter/group stages.
-func RunWith(st *store.Store, statement string, ex *dataflow.Executor) (*Result, error) {
+func RunWith(src Source, statement string, ex *dataflow.Executor) (*Result, error) {
 	q, err := Parse(statement)
 	if err != nil {
 		return nil, err
 	}
-	return q.ExecuteWith(st, ex)
+	return q.ExecuteWith(src, ex)
 }
 
 // Execute runs the parsed query on the process-default executor.
-func (q *Query) Execute(st *store.Store) (*Result, error) {
-	return q.ExecuteWith(st, dataflow.NewExecutor(0))
+func (q *Query) Execute(src Source) (*Result, error) {
+	return q.ExecuteWith(src, dataflow.NewExecutor(0))
 }
 
-// ExecuteWith runs the parsed query: records stream out of the store, the
-// WHERE filter and grouping run on the dataflow engine under the given
-// executor, and ORDER BY / LIMIT shape the final table.
-func (q *Query) ExecuteWith(st *store.Store, ex *dataflow.Executor) (*Result, error) {
+// ExecuteWith runs the parsed query: records stream out of the source,
+// the WHERE filter and grouping run on the dataflow engine under the
+// given executor, and ORDER BY / LIMIT shape the final table.
+func (q *Query) ExecuteWith(src Source, ex *dataflow.Executor) (*Result, error) {
 	// Load the namespace into generic JSON records.
 	var records []map[string]any
-	err := st.Scan(q.namespace, func(payload []byte) error {
+	err := src.Scan(q.namespace, func(payload []byte) error {
 		var rec map[string]any
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return fmt.Errorf("query: bad record in %s: %w", q.namespace, err)

@@ -91,7 +91,11 @@ func lex(input string) ([]token, error) {
 			i = j + 1
 		case isIdentStart(c):
 			j := i
-			for j < n && isIdentPart(input[j]) {
+			seenSlash := false
+			for j < n && (isIdentPart(input[j]) || (input[j] == '-' && seenSlash)) {
+				if input[j] == '/' {
+					seenSlash = true
+				}
 				j++
 			}
 			word := input[i:j]
@@ -134,7 +138,9 @@ func isIdentStart(c byte) bool {
 }
 
 // isIdentPart also admits '.' and '/' so dotted JSON paths and namespace
-// names lex as single identifiers.
+// names lex as single identifiers. The lexer additionally admits '-'
+// once a '/' has been seen, so namespaces like frozen/snap-000000/companies
+// lex whole while bare arithmetic (n-1) still tokenizes as subtraction.
 func isIdentPart(c byte) bool {
 	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.' || c == '/'
 }

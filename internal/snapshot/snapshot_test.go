@@ -1,0 +1,244 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crowdscope/internal/graph"
+)
+
+func encodeAll(t *testing.T) []byte {
+	t.Helper()
+	e := NewEncoder()
+	e.Int64s("nums64", []int64{-1, 0, 1, 1 << 40})
+	e.Int32s("nums32", []int32{-7, 0, 42})
+	e.Uint8s("flags", []uint8{0, 1, 255})
+	e.Strings("labels", []string{"", "alpha", "β-utf8", "alpha"})
+	data, err := e.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d, err := NewDecoder(encodeAll(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n64, err := d.Int64s("nums64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n64, []int64{-1, 0, 1, 1 << 40}) {
+		t.Fatalf("Int64s = %v", n64)
+	}
+	n32, err := d.Int32s("nums32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n32, []int32{-7, 0, 42}) {
+		t.Fatalf("Int32s = %v", n32)
+	}
+	flags, err := d.Uint8s("flags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flags, []uint8{0, 1, 255}) {
+		t.Fatalf("Uint8s = %v", flags)
+	}
+	labels, err := d.Strings("labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(labels, []string{"", "alpha", "β-utf8", "alpha"}) {
+		t.Fatalf("Strings = %v", labels)
+	}
+	if _, err := d.Int64s("missing"); err == nil {
+		t.Fatal("missing section must error")
+	}
+	if _, err := d.Int32s("nums64"); err == nil {
+		t.Fatal("kind mismatch must error")
+	}
+}
+
+func TestDuplicateSectionRejected(t *testing.T) {
+	e := NewEncoder()
+	e.Int64s("dup", []int64{1})
+	e.Int32s("dup", []int32{2})
+	if _, err := e.Bytes(); err == nil {
+		t.Fatal("duplicate section must fail encoding")
+	}
+}
+
+func TestFlippedByteFailsCRC(t *testing.T) {
+	base := encodeAll(t)
+	// Flip every payload byte position in turn is overkill; pick several
+	// spread across sections, skipping the header (magic/version errors
+	// are tested separately).
+	for _, off := range []int{20, len(base) / 2, len(base) - 3} {
+		data := append([]byte(nil), base...)
+		data[off] ^= 0x40
+		_, err := NewDecoder(data)
+		if err == nil {
+			t.Fatalf("flipped byte at %d decoded cleanly", off)
+		}
+	}
+	// A payload flip specifically must report ErrCorrupt.
+	data := append([]byte(nil), base...)
+	data[len(data)-1] ^= 0x01 // last byte of the last section's payload
+	if _, err := NewDecoder(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("payload flip: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncationFailsFraming(t *testing.T) {
+	base := encodeAll(t)
+	for _, n := range []int{0, 4, len(base) / 3, len(base) - 1} {
+		if _, err := NewDecoder(base[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", n)
+		}
+	}
+	if _, err := NewDecoder(base[:len(base)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("truncated artifact must report ErrCorrupt")
+	}
+	// Trailing garbage is as corrupt as missing bytes.
+	if _, err := NewDecoder(append(append([]byte(nil), base...), 0xAA)); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("trailing bytes must report ErrCorrupt")
+	}
+}
+
+func TestBadMagicAndVersionRejected(t *testing.T) {
+	base := encodeAll(t)
+	bad := append([]byte(nil), base...)
+	bad[0] = 'X'
+	if _, err := NewDecoder(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	future := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(future[len(magic):], FormatVersion+1)
+	_, err := NewDecoder(future)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: err = %v", err)
+	}
+}
+
+func TestBipartiteCodecRoundTrip(t *testing.T) {
+	b := graph.NewBipartite(4, 8)
+	for _, e := range [][2]string{
+		{"inv-a", "co-1"}, {"inv-a", "co-2"},
+		{"inv-b", "co-2"}, {"inv-b", "co-3"}, {"inv-b", "co-1"},
+		{"inv-c", "co-3"},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	b.SortAdjacency()
+	enc := NewEncoder()
+	EncodeBipartite(enc, "g", b)
+	data, err := enc.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := DecodeBipartite(dec, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.NumLeft() != b.NumLeft() || fb.NumRight() != b.NumRight() || fb.NumEdges() != b.NumEdges() {
+		t.Fatalf("sizes: frozen %d/%d/%d vs builder %d/%d/%d",
+			fb.NumLeft(), fb.NumRight(), fb.NumEdges(), b.NumLeft(), b.NumRight(), b.NumEdges())
+	}
+	for u := int32(0); int(u) < b.NumLeft(); u++ {
+		if fb.LeftLabel(u) != b.LeftLabel(u) {
+			t.Fatalf("left label %d: %q vs %q", u, fb.LeftLabel(u), b.LeftLabel(u))
+		}
+		if !reflect.DeepEqual(fb.Fwd(u), b.Fwd(u)) {
+			t.Fatalf("fwd row %d: %v vs %v", u, fb.Fwd(u), b.Fwd(u))
+		}
+	}
+	for v := int32(0); int(v) < b.NumRight(); v++ {
+		if fb.RightLabel(v) != b.RightLabel(v) {
+			t.Fatalf("right label %d differs", v)
+		}
+		if !reflect.DeepEqual(fb.Rev(v), b.Rev(v)) {
+			t.Fatalf("rev row %d: %v vs %v", v, fb.Rev(v), b.Rev(v))
+		}
+	}
+	if !fb.HasEdge("inv-b", "co-3") || fb.HasEdge("inv-c", "co-1") {
+		t.Fatal("HasEdge disagrees with builder graph")
+	}
+}
+
+func TestDirectedCodecRoundTrip(t *testing.T) {
+	g := graph.NewDirected(4)
+	for _, e := range [][2]string{
+		{"a", "b"}, {"a", "c"}, {"b", "c"}, {"c", "a"}, {"d", "a"},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	enc := NewEncoder()
+	EncodeDirected(enc, "net", g)
+	data, err := enc.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := DecodeDirected(dec, "net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.NumNodes() != g.NumNodes() || fg.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", fg.NumNodes(), fg.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		if fg.Label(u) != g.Label(u) {
+			t.Fatalf("label %d differs", u)
+		}
+		if !rowsEqual(fg.Out(u), g.Out(u)) || !rowsEqual(fg.In(u), g.In(u)) {
+			t.Fatalf("adjacency %d differs", u)
+		}
+	}
+}
+
+// rowsEqual compares adjacency rows, treating nil and empty as equal.
+func rowsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecodeCSRRejectsInconsistency(t *testing.T) {
+	enc := NewEncoder()
+	enc.Strings("g.left", []string{"a", "b"})
+	enc.Strings("g.right", []string{"x"})
+	enc.Int64s("g.fwd.offsets", []int64{0, 1, 2})
+	enc.Int32s("g.fwd.targets", []int32{0, 5}) // 5 is out of range
+	enc.Int64s("g.rev.offsets", []int64{0, 2})
+	enc.Int32s("g.rev.targets", []int32{0, 1})
+	data, err := enc.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBipartite(dec, "g"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-range target: err = %v, want ErrCorrupt", err)
+	}
+}

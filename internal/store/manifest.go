@@ -22,11 +22,38 @@ type SegmentInfo struct {
 	Bytes int64 `json:"bytes"`
 }
 
+// Namespace kinds. The zero value ("") means an append-only JSON segment
+// namespace; KindBlob marks a namespace holding one binary artifact.
+const (
+	KindJSON = ""
+	KindBlob = "blob"
+)
+
+// BlobInfo describes the single committed binary artifact of a blob
+// namespace. Format is the artifact's self-declared format version and
+// CRC32 the Castagnoli checksum of the whole payload; readers verify both
+// before handing bytes out.
+type BlobInfo struct {
+	// File is the blob filename relative to the store root.
+	File string `json:"file"`
+	// Bytes is the exact payload size.
+	Bytes int64 `json:"bytes"`
+	// CRC32 is the Castagnoli checksum of the payload.
+	CRC32 uint32 `json:"crc32"`
+	// Format is the writer-declared format version of the payload.
+	Format int `json:"format"`
+}
+
 // NamespaceInfo lists the sealed segments of one namespace in append order.
 type NamespaceInfo struct {
 	Segments []SegmentInfo `json:"segments"`
-	// NextSeq numbers the next segment file for the namespace.
+	// NextSeq numbers the next segment (or blob) file for the namespace.
 	NextSeq int64 `json:"next_seq"`
+	// Kind distinguishes JSON segment namespaces ("") from binary blob
+	// namespaces ("blob").
+	Kind string `json:"kind,omitempty"`
+	// Blob is the committed artifact of a blob namespace.
+	Blob *BlobInfo `json:"blob,omitempty"`
 }
 
 // manifest is the on-disk catalog of every namespace.

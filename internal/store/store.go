@@ -68,8 +68,18 @@ func validNamespace(ns string) error {
 	return nil
 }
 
-// nsDir converts a namespace into its directory name under the root.
-func nsDir(ns string) string { return strings.ReplaceAll(ns, "/", "__") }
+// nsDir converts a namespace into its directory name under the root. The
+// mapping must be injective: "a/b" flattens to "a__b", which would collide
+// with the distinct valid namespace "a__b". Escaping every underscore in a
+// part as "_x" first means escaped parts never contain "__", so the "__"
+// separator is unambiguous and two namespaces never share a directory.
+func nsDir(ns string) string {
+	parts := strings.Split(ns, "/")
+	for i, p := range parts {
+		parts[i] = strings.ReplaceAll(p, "_", "_x")
+	}
+	return strings.Join(parts, "__")
+}
 
 // Writer appends JSON records to one namespace. Writers are not safe for
 // concurrent use; parallel producers should marshal through a channel or
@@ -94,6 +104,9 @@ func (s *Store) Writer(ns string) (*Writer, error) {
 	defer s.mu.Unlock()
 	if s.writers[ns] {
 		return nil, fmt.Errorf("store: namespace %q already has an open writer", ns)
+	}
+	if info := s.manifest.Namespaces[ns]; info != nil && info.Kind == KindBlob {
+		return nil, fmt.Errorf("store: namespace %q holds a binary blob, not JSON segments", ns)
 	}
 	if err := os.MkdirAll(filepath.Join(s.dir, nsDir(ns)), 0o755); err != nil {
 		return nil, err
@@ -233,6 +246,9 @@ func (s *Store) snapshot(ns string) ([]SegmentInfo, error) {
 	if info == nil {
 		return nil, fmt.Errorf("store: unknown namespace %q", ns)
 	}
+	if info.Kind == KindBlob {
+		return nil, fmt.Errorf("store: namespace %q holds a binary blob, not JSON segments", ns)
+	}
 	segs := make([]SegmentInfo, len(info.Segments))
 	copy(segs, info.Segments)
 	return segs, nil
@@ -273,10 +289,23 @@ type NamespaceStats struct {
 	Segments int
 	Records  int64
 	Bytes    int64
+	// Kind mirrors the manifest's namespace kind ("" JSON, "blob").
+	Kind string
 }
 
 // Stats returns committed accounting for the namespace.
 func (s *Store) Stats(ns string) (NamespaceStats, error) {
+	s.mu.Lock()
+	if info := s.manifest.Namespaces[ns]; info != nil && info.Kind == KindBlob {
+		st := NamespaceStats{Kind: KindBlob}
+		if info.Blob != nil {
+			st.Bytes = info.Blob.Bytes
+			st.Records = 1
+		}
+		s.mu.Unlock()
+		return st, nil
+	}
+	s.mu.Unlock()
 	segs, err := s.snapshot(ns)
 	if err != nil {
 		return NamespaceStats{}, err

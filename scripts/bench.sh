@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Snapshot-load benchmark for the frozen-artifact PR: runs
+# BenchmarkSnapshotLoad (frozen columnar decode vs raw-JSON rebuild) and
+# emits BENCH_PR3.json with the per-path ns/op and the measured speedup.
+#
+# Usage: scripts/bench.sh [count]   (default 3 benchmark iterations)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-3}"
+OUT=BENCH_PR3.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench '^BenchmarkSnapshotLoad$' -benchtime "${COUNT}x" . | tee "$RAW"
+
+awk -v count="$COUNT" '
+  /BenchmarkSnapshotLoad\/frozen/       { frozen = $3 }
+  /BenchmarkSnapshotLoad\/json-rebuild/ { rebuild = $3 }
+  /BenchmarkSnapshotLoad\/speedup/ {
+    for (i = 1; i <= NF; i++) if ($i == "x_speedup") speedup = $(i - 1)
+  }
+  END {
+    if (frozen == "" || rebuild == "" || speedup == "") {
+      print "bench: missing benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    printf "{\n"
+    printf "  \"benchmark\": \"SnapshotLoad\",\n"
+    printf "  \"iterations\": %d,\n", count
+    printf "  \"frozen_ns_per_op\": %s,\n", frozen
+    printf "  \"json_rebuild_ns_per_op\": %s,\n", rebuild
+    printf "  \"speedup\": %s\n", speedup
+    printf "}\n"
+  }
+' "$RAW" > "$OUT"
+
+cat "$OUT"
+echo "wrote $OUT"

@@ -14,6 +14,11 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Frozen-vs-builder equivalence under the race detector: the read-only
+# View refactor promises bit-identical analyses from the mutable builder
+# and the frozen CSR snapshot, on every parallel kernel.
+go test -race -run 'Frozen' ./internal/graph ./internal/core .
+
 # Per-package coverage floors (percent).
 check_coverage() {
   local pkg="$1" floor="$2" out pct
@@ -33,3 +38,8 @@ check_coverage() {
 
 check_coverage ./internal/crawler 70
 check_coverage ./internal/apiserver 70
+# The persistence layer (blob namespaces, frozen artifacts) and the graph
+# layer (View interface, frozen CSR implementations) gate the snapshot
+# format's integrity guarantees.
+check_coverage ./internal/store 70
+check_coverage ./internal/graph 70
