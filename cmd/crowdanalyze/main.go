@@ -54,7 +54,7 @@ func main() {
 	}
 	var a *crowdscope.Analysis
 	if *rebuild {
-		if s, err := p.RebuildSnapshot(-1); err != nil {
+		if s, err := p.RebuildSnapshot(context.Background(), -1); err != nil {
 			log.Fatal(err)
 		} else {
 			fmt.Printf("rebuilt frozen snapshot %d from raw JSON\n", s)

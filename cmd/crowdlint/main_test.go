@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunReportsFindingsWithExitOne(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module fixture.test/m\n\ngo 1.22\n",
+		"internal/stats/s.go": `package stats
+
+import "os"
+
+func Env() string {
+	return os.Getenv("CONFIG")
+}
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run(dir, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "internal/stats/s.go:6:") {
+		t.Errorf("output %q missing module-relative file:line", got)
+	}
+	if !strings.Contains(got, "[determinism]") {
+		t.Errorf("output %q missing analyzer tag", got)
+	}
+	if !strings.Contains(errOut.String(), "1 finding(s)") {
+		t.Errorf("stderr %q missing finding count", errOut.String())
+	}
+}
+
+func TestRunCleanModuleExitsZero(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":  "module fixture.test/m\n\ngo 1.22\n",
+		"main.go": "package main\n\nfunc main() {}\n",
+	})
+	var out, errOut bytes.Buffer
+	if code := run(dir, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0; output: %s%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed %q", out.String())
+	}
+}
+
+func TestRunWithoutModuleExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(t.TempDir(), &out, &errOut); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "go.mod") {
+		t.Errorf("stderr %q does not explain the missing go.mod", errOut.String())
+	}
+}
+
+func TestRunResolvesRootFromSubdirectory(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":            "module fixture.test/m\n\ngo 1.22\n",
+		"main.go":           "package main\n\nfunc main() {}\n",
+		"internal/a/a.go":   "package a\n",
+		"internal/a/b/b.go": "package b\n",
+	})
+	var out, errOut bytes.Buffer
+	if code := run(filepath.Join(dir, "internal", "a", "b"), &out, &errOut); code != 0 {
+		t.Fatalf("run from subdirectory = %d, want 0; %s", code, errOut.String())
+	}
+}

@@ -17,6 +17,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -43,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *rebuild {
-		snap, err := core.BuildFrozen(st, -1)
+		snap, err := core.BuildFrozen(context.Background(), st, -1)
 		if err != nil {
 			log.Fatal(err)
 		}

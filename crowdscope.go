@@ -174,12 +174,12 @@ func (p *Pipeline) Crawl(ctx context.Context, snapshot int) (*crawler.Snapshot, 
 	if alreadyPersisted {
 		return snap, nil
 	}
-	if err := crawler.Persist(p.Store, snap, snapshot); err != nil {
+	if err := crawler.Persist(ctx, p.Store, snap, snapshot); err != nil {
 		return nil, err
 	}
 	// Snapshot-builder stage: emit the frozen columnar artifact so later
 	// Analyze calls skip the JSON merge entirely.
-	if _, err := core.BuildFrozen(p.Store, snapshot); err != nil {
+	if _, err := core.BuildFrozen(ctx, p.Store, snapshot); err != nil {
 		return nil, fmt.Errorf("crowdscope: freeze snapshot %d: %w", snapshot, err)
 	}
 	if cr.Checkpoint != nil {
@@ -188,7 +188,7 @@ func (p *Pipeline) Crawl(ctx context.Context, snapshot int) (*crawler.Snapshot, 
 			Phase: crawler.PhasePersisted,
 			Snap:  snap,
 		}
-		if err := crawler.SaveCheckpoint(p.Store, cr.Checkpoint.Namespace, marker); err != nil {
+		if err := crawler.SaveCheckpoint(ctx, p.Store, cr.Checkpoint.Namespace, marker); err != nil {
 			return nil, err
 		}
 	}
@@ -245,8 +245,8 @@ func (p *Pipeline) AnalyzeRebuild(snapshot int) (*Analysis, error) {
 // RebuildSnapshot regenerates the snapshot's frozen artifact from the
 // raw JSON namespaces (-1 = latest crawled), replacing any existing
 // artifact. It returns the snapshot tag that was frozen.
-func (p *Pipeline) RebuildSnapshot(snapshot int) (int, error) {
-	return core.BuildFrozen(p.Store, snapshot)
+func (p *Pipeline) RebuildSnapshot(ctx context.Context, snapshot int) (int, error) {
+	return core.BuildFrozen(ctx, p.Store, snapshot)
 }
 
 // analyze runs the analysis suite over already-loaded entities and the

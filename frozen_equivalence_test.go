@@ -53,7 +53,7 @@ func TestFrozenAnalysisEquivalence(t *testing.T) {
 
 	// The escape hatch regenerates the artifact in place; analyses still
 	// match afterwards.
-	if snap, err := p.RebuildSnapshot(-1); err != nil || snap != 0 {
+	if snap, err := p.RebuildSnapshot(context.Background(), -1); err != nil || snap != 0 {
 		t.Fatalf("RebuildSnapshot = %d, %v", snap, err)
 	}
 	again, err := p.Analyze(-1)

@@ -43,7 +43,10 @@ type Options struct {
 	FBShortTokens []string
 	// Seed drives failure injection.
 	Seed int64
-	// Clock for rate limiting; defaults to time.Now.
+	// Clock for rate limiting; defaults to time.Now. Injecting a fixed
+	// clock makes rate-limit behaviour fully deterministic — this is the
+	// escape hatch the crowdlint determinism analyzer expects (see the
+	// Clock type's doc comment).
 	Clock Clock
 }
 
@@ -193,6 +196,7 @@ type apiError struct {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	//lint:ignore errwrap the status line is already on the wire; an encode failure here has no channel back to the client
 	_ = json.NewEncoder(w).Encode(v)
 }
 

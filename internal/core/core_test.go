@@ -50,7 +50,7 @@ func TestMain(m *testing.M) {
 	if err != nil {
 		panic(err)
 	}
-	if err := crawler.Persist(fixStore, snap, 0); err != nil {
+	if err := crawler.Persist(context.Background(), fixStore, snap, 0); err != nil {
 		panic(err)
 	}
 	ts.Close()

@@ -111,7 +111,7 @@ func longitudinalStore(t *testing.T) (*store.Store, *ecosystem.World) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := crawler.Persist(st, snap, 0); err != nil {
+	if err := crawler.Persist(context.Background(), st, snap, 0); err != nil {
 		t.Fatal(err)
 	}
 	for d := 0; d < 45; d++ {
@@ -122,7 +122,7 @@ func longitudinalStore(t *testing.T) (*store.Store, *ecosystem.World) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := crawler.Persist(st, snap, 1); err != nil {
+	if err := crawler.Persist(context.Background(), st, snap, 1); err != nil {
 		t.Fatal(err)
 	}
 	return st, w

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crowdscope/internal/graph"
@@ -66,8 +67,10 @@ func LatestFrozen(st *store.Store) (int, error) {
 // the JSON path (merge joins + graph build), encode everything into the
 // columnar artifact, and commit it as the snapshot's frozen blob. Pass
 // snap -1 to freeze the latest crawled snapshot. Returns the snapshot
-// tag that was frozen.
-func BuildFrozen(st *store.Store, snap int) (int, error) {
+// tag that was frozen. The context bounds the durable blob write: a
+// canceled ctx abandons the build before commit, so a partial artifact
+// is never visible.
+func BuildFrozen(ctx context.Context, st *store.Store, snap int) (int, error) {
 	if snap < 0 {
 		var err error
 		snap, err = LatestSnapshot(st)
@@ -91,6 +94,9 @@ func BuildFrozen(st *store.Store, snap int) (int, error) {
 	})
 	if err != nil {
 		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("core: freeze snapshot %d: %w", snap, err)
 	}
 	if err := st.PutBlob(FrozenNamespace(snap), snapshot.FormatVersion, data); err != nil {
 		return 0, err

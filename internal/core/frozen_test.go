@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -14,7 +15,7 @@ func buildFixtureFrozen(t *testing.T) {
 	if HasFrozen(fixStore, 0) {
 		return
 	}
-	snap, err := BuildFrozen(fixStore, -1)
+	snap, err := BuildFrozen(context.Background(), fixStore, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestFrozenAnalysesBitIdentical(t *testing.T) {
 func TestFrozenRebuildReplacesArtifact(t *testing.T) {
 	buildFixtureFrozen(t)
 	// The escape hatch must be able to regenerate over an existing blob.
-	if _, err := BuildFrozen(fixStore, 0); err != nil {
+	if _, err := BuildFrozen(context.Background(), fixStore, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := LoadFrozen(fixStore, 0); err != nil {
@@ -198,6 +199,12 @@ func TestQuerySourceFrozenNamespaces(t *testing.T) {
 	if err := src.Scan("frozen/snap-000000/ghosts", func([]byte) error { return nil }); err == nil {
 		t.Fatal("unknown frozen table must error")
 	}
+	if err := src.Scan("frozen/snap-000099/companies", func([]byte) error { return nil }); err == nil {
+		t.Fatal("unknown snapshot number must surface the LoadFrozen error")
+	}
+	if _, err := query.Run(src, "SELECT COUNT(*) AS n FROM frozen/snap-000099/companies"); err == nil {
+		t.Fatal("querying a nonexistent snapshot must error, not return empty rows")
+	}
 	if err := src.Scan("frozen/oops", func([]byte) error { return nil }); err == nil {
 		t.Fatal("malformed frozen namespace must error")
 	}
@@ -217,7 +224,7 @@ func TestLongitudinalPreferFrozen(t *testing.T) {
 	}
 
 	for _, snap := range []int{0, 1} {
-		if _, err := BuildFrozen(st, snap); err != nil {
+		if _, err := BuildFrozen(context.Background(), st, snap); err != nil {
 			t.Fatal(err)
 		}
 	}

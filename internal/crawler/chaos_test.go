@@ -295,12 +295,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 			Startups: map[string]*ecosystem.Startup{"s0": {ID: "s0", Name: "Zero"}},
 		},
 	}
-	if err := SaveCheckpoint(st, "checkpoint/crawl", cp); err != nil {
+	if err := SaveCheckpoint(context.Background(), st, "checkpoint/crawl", cp); err != nil {
 		t.Fatal(err)
 	}
 	// A later checkpoint must shadow the earlier one.
 	cp2 := &Checkpoint{Seq: 4, Phase: PhaseAugment, Round: 3, AugmentDone: []string{"s0"}, Snap: cp.Snap}
-	if err := SaveCheckpoint(st, "checkpoint/crawl", cp2); err != nil {
+	if err := SaveCheckpoint(context.Background(), st, "checkpoint/crawl", cp2); err != nil {
 		t.Fatal(err)
 	}
 	got, ok, err := LoadCheckpoint(st, "checkpoint/crawl")

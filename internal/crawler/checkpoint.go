@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 
 	"crowdscope/internal/ecosystem"
@@ -75,8 +76,12 @@ type Checkpoint struct {
 	Snap *Snapshot `json:"snapshot"`
 }
 
-// SaveCheckpoint appends cp to the namespace and commits it durably.
-func SaveCheckpoint(s *store.Store, ns string, cp *Checkpoint) error {
+// SaveCheckpoint appends cp to the namespace and commits it durably. A
+// canceled ctx skips the write entirely; checkpoints are all-or-nothing.
+func SaveCheckpoint(ctx context.Context, s *store.Store, ns string, cp *Checkpoint) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("crawler: checkpoint: %w", err)
+	}
 	w, err := s.Writer(ns)
 	if err != nil {
 		return fmt.Errorf("crawler: checkpoint: %w", err)

@@ -108,7 +108,7 @@ func (cr *Crawler) Run(ctx context.Context) (*Snapshot, error) {
 		}
 		cp.Seq = cpSeq
 		cp.Snap = snap
-		if err := SaveCheckpoint(cr.Checkpoint.Store, cr.Checkpoint.namespace(), &cp); err != nil {
+		if err := SaveCheckpoint(ctx, cr.Checkpoint.Store, cr.Checkpoint.namespace(), &cp); err != nil {
 			return err
 		}
 		cpSeq++

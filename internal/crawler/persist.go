@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -40,34 +41,37 @@ type AugmentRecord[T any] struct {
 
 // Persist writes the snapshot into the store under the standard
 // namespaces, tagging every record with the snapshot number. Records are
-// written in sorted ID order so persisted output is deterministic.
-func Persist(s *store.Store, snap *Snapshot, snapshotNum int) error {
-	if err := persistMap(s, NSStartups, snap.Startups, func(id string, v *ecosystem.Startup) any {
+// written in sorted ID order so persisted output is deterministic. The
+// context bounds the durable writes: a canceled ctx stops between
+// records, leaving the in-flight namespace uncommitted (segment commits
+// are atomic, so the store never sees a torn snapshot).
+func Persist(ctx context.Context, s *store.Store, snap *Snapshot, snapshotNum int) error {
+	if err := persistMap(ctx, s, NSStartups, snap.Startups, func(id string, v *ecosystem.Startup) any {
 		return StartupRecord{Startup: *v, Snapshot: snapshotNum}
 	}); err != nil {
 		return err
 	}
-	if err := persistMap(s, NSUsers, snap.Users, func(id string, v *ecosystem.User) any {
+	if err := persistMap(ctx, s, NSUsers, snap.Users, func(id string, v *ecosystem.User) any {
 		return UserRecord{User: *v, Snapshot: snapshotNum}
 	}); err != nil {
 		return err
 	}
-	if err := persistMap(s, NSCrunchBase, snap.CrunchBase, func(id string, v *ecosystem.CrunchBaseProfile) any {
+	if err := persistMap(ctx, s, NSCrunchBase, snap.CrunchBase, func(id string, v *ecosystem.CrunchBaseProfile) any {
 		return AugmentRecord[ecosystem.CrunchBaseProfile]{StartupID: id, Profile: *v, Snapshot: snapshotNum}
 	}); err != nil {
 		return err
 	}
-	if err := persistMap(s, NSFacebook, snap.Facebook, func(id string, v *ecosystem.FacebookProfile) any {
+	if err := persistMap(ctx, s, NSFacebook, snap.Facebook, func(id string, v *ecosystem.FacebookProfile) any {
 		return AugmentRecord[ecosystem.FacebookProfile]{StartupID: id, Profile: *v, Snapshot: snapshotNum}
 	}); err != nil {
 		return err
 	}
-	return persistMap(s, NSTwitter, snap.Twitter, func(id string, v *ecosystem.TwitterProfile) any {
+	return persistMap(ctx, s, NSTwitter, snap.Twitter, func(id string, v *ecosystem.TwitterProfile) any {
 		return AugmentRecord[ecosystem.TwitterProfile]{StartupID: id, Profile: *v, Snapshot: snapshotNum}
 	})
 }
 
-func persistMap[T any](s *store.Store, ns string, m map[string]*T, wrap func(string, *T) any) error {
+func persistMap[T any](ctx context.Context, s *store.Store, ns string, m map[string]*T, wrap func(string, *T) any) error {
 	if len(m) == 0 {
 		return nil
 	}
@@ -81,6 +85,10 @@ func persistMap[T any](s *store.Store, ns string, m map[string]*T, wrap func(str
 		return err
 	}
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			w.Close()
+			return fmt.Errorf("crawler: persist %s: %w", ns, err)
+		}
 		if err := w.Append(wrap(id, m[id])); err != nil {
 			w.Close()
 			return fmt.Errorf("crawler: persist %s: %w", ns, err)

@@ -42,7 +42,7 @@ func (sc *Scheduler) RunOnce(ctx context.Context) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := Persist(sc.Store, snap, sc.snapshots); err != nil {
+	if err := Persist(ctx, sc.Store, snap, sc.snapshots); err != nil {
 		return nil, err
 	}
 	sc.snapshots++

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// binlayoutPackages own wire formats: the CSFROZ01 columnar container
+// (internal/snapshot) and the append-only segment files (internal/store).
+var binlayoutPackages = map[string]bool{
+	"internal/snapshot": true,
+	"internal/store":    true,
+}
+
+// FormatDocFile is where every exported wire constant must be documented.
+const FormatDocFile = "DESIGN.md"
+
+// AnalyzerBinLayout protects the byte-exact cross-platform layout of the
+// persisted artifacts:
+//
+//   - binary.Write / binary.Read are banned in the wire packages: they
+//     reflect over Go values, so a platform-sized int (or a struct field
+//     reordering) silently changes the encoding. The formats use explicit
+//     fixed-width PutUint16/32/64 calls instead. Varint encoders are
+//     banned for the same reason — both formats are fixed-width.
+//   - Composite literals of struct types must be keyed, so inserting a
+//     field can never silently re-bind positional wire values.
+//   - Every exported constant in a wire package must appear in DESIGN.md:
+//     a new magic number, version or size limit is part of the format
+//     contract and has to be documented before it ships.
+var AnalyzerBinLayout = &Analyzer{
+	Name: "binlayout",
+	Doc:  "wire packages: fixed-width explicit encoding, keyed literals, documented constants",
+	Run:  runBinLayout,
+}
+
+// bannedBinaryFuncs reflect over values or emit variable-width encodings.
+var bannedBinaryFuncs = map[string]string{
+	"Write":         "reflects over Go values, making the layout platform- and field-order-dependent",
+	"Read":          "reflects over Go values, making the layout platform- and field-order-dependent",
+	"PutVarint":     "emits variable-width bytes; the wire formats are fixed-width",
+	"PutUvarint":    "emits variable-width bytes; the wire formats are fixed-width",
+	"AppendVarint":  "emits variable-width bytes; the wire formats are fixed-width",
+	"AppendUvarint": "emits variable-width bytes; the wire formats are fixed-width",
+	"Varint":        "reads variable-width bytes; the wire formats are fixed-width",
+	"Uvarint":       "reads variable-width bytes; the wire formats are fixed-width",
+	"ReadVarint":    "reads variable-width bytes; the wire formats are fixed-width",
+	"ReadUvarint":   "reads variable-width bytes; the wire formats are fixed-width",
+}
+
+func runBinLayout(m *Module) []Diagnostic {
+	var out []Diagnostic
+	formatDoc := ""
+	if data, err := os.ReadFile(filepath.Join(m.Root, FormatDocFile)); err == nil {
+		formatDoc = string(data)
+	}
+
+	for _, pkg := range m.Packages {
+		if !binlayoutPackages[pkg.Rel] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeFunc(pkg.Info, node)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+						return true
+					}
+					if why, ok := bannedBinaryFuncs[fn.Name()]; ok {
+						out = append(out, m.diag("binlayout", node.Pos(),
+							"binary.%s %s; use explicit binary.LittleEndian.PutUintNN on fixed-width values", fn.Name(), why))
+					}
+				case *ast.CompositeLit:
+					out = append(out, checkKeyedLiteral(m, pkg, node)...)
+				}
+				return true
+			})
+
+			// Exported constants are format surface; they must appear in
+			// the format documentation.
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok.String() != "const" {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if !name.IsExported() {
+							continue
+						}
+						if formatDoc == "" || !strings.Contains(formatDoc, name.Name) {
+							out = append(out, m.diag("binlayout", name.Pos(),
+								"exported wire constant %s is not documented in %s; format surface must be written down before it ships",
+								name.Name, FormatDocFile))
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkKeyedLiteral flags positional struct literals in wire packages.
+func checkKeyedLiteral(m *Module, pkg *Package, lit *ast.CompositeLit) []Diagnostic {
+	if len(lit.Elts) == 0 {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[lit]
+	if !ok {
+		return nil
+	}
+	if _, isStruct := tv.Type.Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	for _, e := range lit.Elts {
+		if _, ok := e.(*ast.KeyValueExpr); !ok {
+			return []Diagnostic{m.diag("binlayout", lit.Pos(),
+				"positional struct literal in a wire package; key every field so layout edits cannot silently re-bind values")}
+		}
+	}
+	return nil
+}

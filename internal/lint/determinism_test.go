@@ -1,0 +1,117 @@
+package lint
+
+import "testing"
+
+func TestDeterminismCatchesAmbientState(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/stats/s.go": `package stats
+
+import (
+	"os"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now()
+}
+
+func Env() string {
+	return os.Getenv("CONFIG")
+}
+`,
+		"internal/graph/g.go": `package graph
+
+import "math/rand"
+
+func Jitter() int {
+	return rand.Intn(3)
+}
+`,
+	})
+	got := findings(t, m, AnalyzerDeterminism)
+	wantFindings(t, got,
+		"internal/graph/g.go:6:[determinism]",
+		"internal/stats/s.go:9:[determinism]",
+		"internal/stats/s.go:13:[determinism]")
+}
+
+func TestDeterminismAllowsSeededRandAndOtherPackages(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		// Seeded generators and *rand.Rand methods are the sanctioned
+		// pattern inside deterministic packages.
+		"internal/stats/s.go": `package stats
+
+import "math/rand"
+
+func Draw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+`,
+		// Non-deterministic packages may read wall clocks freely.
+		"internal/server/s.go": `package server
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerDeterminism))
+}
+
+// TestDeterminismInjectedClockEscapeHatch proves the documented escape
+// hatch: a deterministic package that *accepts* a clock (the
+// apiserver.Options.Clock pattern) passes, while the same package calling
+// time.Now() directly is rejected.
+func TestDeterminismInjectedClockEscapeHatch(t *testing.T) {
+	const injected = `package dynamics
+
+import "time"
+
+// Clock is the injected time source; package main wires in time.Now.
+type Clock func() time.Time
+
+type Sim struct {
+	Clock Clock
+}
+
+func (s *Sim) Stamp() time.Time {
+	return s.Clock()
+}
+`
+	m := writeModule(t, map[string]string{"internal/dynamics/d.go": injected})
+	wantFindings(t, findings(t, m, AnalyzerDeterminism))
+
+	// The same package with a direct wall-clock read is caught: only the
+	// caller may decide what the clock is.
+	m = writeModule(t, map[string]string{
+		"internal/dynamics/d.go": injected,
+		"internal/dynamics/default.go": `package dynamics
+
+import "time"
+
+func NewSim() *Sim {
+	return &Sim{Clock: time.Now}
+}
+`,
+	})
+	got := findings(t, m, AnalyzerDeterminism)
+	wantFindings(t, got, "internal/dynamics/default.go:6:[determinism]")
+}
+
+func TestDeterminismSuppressionWithReason(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/stats/s.go": `package stats
+
+import "time"
+
+func DemoStamp() time.Time {
+	//lint:ignore determinism demo harness output only; no kernel consumes this value
+	return time.Now()
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerDeterminism))
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// AllowlistFile is the checked-in viewonly exception list at the module
+// root. Each line names one exported symbol that may keep a concrete
+// builder type in its signature:
+//
+//	internal/core.BuildInvestorGraph   # façade: builds the mutable graph
+//
+// Lines are <module-relative-pkg>.<Func> or <pkg>.<Type>.<Method>; '#'
+// starts a comment. The analyzer verifies the list stays minimal: an
+// entry that no longer names an exported symbol with a builder type in
+// its signature is reported as stale, so dead exceptions cannot linger.
+const AllowlistFile = "crowdlint.allow"
+
+// AnalyzerViewOnly enforces PR 3's read-only-view discipline: outside
+// internal/graph, exported functions and methods must traffic in
+// graph.View / graph.BipartiteView, never the mutable *graph.Directed /
+// *graph.Bipartite builders. The known façade constructors live in
+// crowdlint.allow with a justifying comment.
+var AnalyzerViewOnly = &Analyzer{
+	Name: "viewonly",
+	Doc:  "exported APIs outside internal/graph must use graph views, not builder types",
+	Run:  runViewOnly,
+}
+
+func runViewOnly(m *Module) []Diagnostic {
+	allow, allowPos, diags := loadAllowlist(filepath.Join(m.Root, AllowlistFile))
+	used := map[string]bool{}
+	graphPath := m.internalPath("internal/graph")
+
+	for _, pkg := range m.Packages {
+		if pkg.Rel == "internal/graph" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sig := obj.Type().(*types.Signature)
+				if recv := sig.Recv(); recv != nil && !receiverExported(recv.Type()) {
+					continue // methods on unexported types are not API
+				}
+				bad := bannedInSignature(sig, graphPath)
+				if bad == "" {
+					continue
+				}
+				key := allowKey(pkg, fd, sig)
+				if allow[key] {
+					used[key] = true
+					continue
+				}
+				diags = append(diags, m.diag("viewonly", fd.Name.Pos(),
+					"exported %s exposes *graph.%s; accept or return graph.%s instead, or add %q to %s with a justification",
+					key, bad, viewFor(bad), key, AllowlistFile))
+			}
+		}
+	}
+
+	for entry, pos := range allowPos {
+		if !used[entry] {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "viewonly",
+				Message: "stale allowlist entry " + entry +
+					": no exported symbol with a builder type in its signature matches it; delete the line",
+			})
+		}
+	}
+	return diags
+}
+
+// loadAllowlist parses the exception file. A missing file simply means an
+// empty allowlist.
+func loadAllowlist(path string) (map[string]bool, map[string]token.Position, []Diagnostic) {
+	allow := map[string]bool{}
+	pos := map[string]token.Position{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return allow, pos, nil
+	}
+	var diags []Diagnostic
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p := token.Position{Filename: path, Line: i + 1, Column: 1}
+		if strings.ContainsAny(line, " \t") {
+			diags = append(diags, Diagnostic{Pos: p, Analyzer: "viewonly",
+				Message: "malformed allowlist line: want one <pkg>.<Symbol> per line"})
+			continue
+		}
+		allow[line] = true
+		pos[line] = p
+	}
+	return allow, pos, diags
+}
+
+// allowKey derives a symbol's allowlist spelling: the module-relative
+// package directory, then the receiver type for methods, then the name.
+func allowKey(pkg *Package, fd *ast.FuncDecl, sig *types.Signature) string {
+	prefix := pkg.Rel
+	if prefix == "" {
+		prefix = "."
+	}
+	if recv := sig.Recv(); recv != nil {
+		if n := namedOf(recv.Type()); n != nil {
+			return prefix + "." + n.Obj().Name() + "." + fd.Name.Name
+		}
+	}
+	return prefix + "." + fd.Name.Name
+}
+
+// bannedInSignature reports the first builder type ("Directed" or
+// "Bipartite") reachable from the signature's parameters or results, or
+// "" when the signature is clean.
+func bannedInSignature(sig *types.Signature, graphPath string) string {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) string
+	walk = func(t types.Type) string {
+		if t == nil || seen[t] {
+			return ""
+		}
+		seen[t] = true
+		switch tt := t.(type) {
+		case *types.Named:
+			obj := tt.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == graphPath &&
+				(obj.Name() == "Directed" || obj.Name() == "Bipartite") {
+				return obj.Name()
+			}
+			return "" // other named types are opaque: identity, not structure
+		case *types.Pointer:
+			return walk(tt.Elem())
+		case *types.Slice:
+			return walk(tt.Elem())
+		case *types.Array:
+			return walk(tt.Elem())
+		case *types.Map:
+			if bad := walk(tt.Key()); bad != "" {
+				return bad
+			}
+			return walk(tt.Elem())
+		case *types.Chan:
+			return walk(tt.Elem())
+		case *types.Signature:
+			if bad := walkTuple(tt.Params(), walk); bad != "" {
+				return bad
+			}
+			return walkTuple(tt.Results(), walk)
+		}
+		return ""
+	}
+	if bad := walkTuple(sig.Params(), walk); bad != "" {
+		return bad
+	}
+	return walkTuple(sig.Results(), walk)
+}
+
+func walkTuple(t *types.Tuple, walk func(types.Type) string) string {
+	for i := 0; i < t.Len(); i++ {
+		if bad := walk(t.At(i).Type()); bad != "" {
+			return bad
+		}
+	}
+	return ""
+}
+
+func viewFor(builder string) string {
+	if builder == "Bipartite" {
+		return "BipartiteView"
+	}
+	return "View"
+}
+
+// namedOf unwraps pointers to reach a named receiver type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+func receiverExported(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Exported()
+}

@@ -64,6 +64,7 @@ func SampledAvgSharedSize(b graph.BipartiteView, investors []int32, maxPairs int
 		return AvgSharedSize(b, investors)
 	}
 	var sum float64
+	//lint:ignore errwrap SamplePairs only fails on pop < 2, excluded by the n < 2 guard above
 	_ = stats.SamplePairs(rng, n, maxPairs, func(i, j int) {
 		sum += float64(graph.SharedRightCount(b, investors[i], investors[j]))
 	})

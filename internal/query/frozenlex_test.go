@@ -1,0 +1,107 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The frozen snapshot namespaces (frozen/snap-000000/companies) contain a
+// '-' that ordinary identifiers must not absorb: it is only part of an
+// identifier once a '/' has been seen, so arithmetic still lexes as
+// subtraction. These tests pin that boundary.
+
+func lexKinds(t *testing.T, input string) []token {
+	t.Helper()
+	toks, err := lex(input)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", input, err)
+	}
+	return toks[:len(toks)-1] // drop EOF
+}
+
+func TestLexFrozenNamespaceIsOneIdentifier(t *testing.T) {
+	toks := lexKinds(t, "frozen/snap-000000/companies")
+	if len(toks) != 1 || toks[0].kind != tokIdent || toks[0].text != "frozen/snap-000000/companies" {
+		t.Fatalf("tokens = %+v, want one identifier spanning the namespace", toks)
+	}
+}
+
+func TestLexDashWithoutSlashIsSubtraction(t *testing.T) {
+	toks := lexKinds(t, "n-1")
+	want := []token{
+		{tokIdent, "n", 0},
+		{tokSymbol, "-", 1},
+		{tokNumber, "1", 2},
+	}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("tokens = %+v, want %+v", toks, want)
+	}
+}
+
+func TestLexSubtractionAfterNamespaceExpression(t *testing.T) {
+	// A namespace identifier earlier in the query must not flip later
+	// arithmetic into identifier characters: seenSlash is per-token.
+	toks := lexKinds(t, "frozen/snap-000001/investors follows-2")
+	if len(toks) != 4 {
+		t.Fatalf("tokens = %+v, want namespace, ident, '-', number", toks)
+	}
+	if toks[0].text != "frozen/snap-000001/investors" {
+		t.Fatalf("namespace token = %q", toks[0].text)
+	}
+	if toks[1].text != "follows" || toks[2].text != "-" || toks[3].text != "2" {
+		t.Fatalf("arithmetic tokens = %+v, want follows - 2", toks[1:])
+	}
+}
+
+func TestFrozenNamespaceSubtractionEndToEnd(t *testing.T) {
+	// The whole pipeline agrees with the lexer: the FROM clause keeps the
+	// dashed namespace whole while '-' in the SELECT list subtracts.
+	st := testStore(t)
+	res, err := Run(st, "SELECT follows - 1 AS f FROM users WHERE id = 'u3'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != float64(9) {
+		t.Fatalf("rows = %v, want [[9]]", res.Rows)
+	}
+
+	q, err := Parse("SELECT COUNT(*) AS n FROM frozen/snap-000000/companies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.namespace != "frozen/snap-000000/companies" {
+		t.Fatalf("namespace = %q", q.namespace)
+	}
+}
+
+func TestParseRejectsMissingNamespace(t *testing.T) {
+	for _, src := range []string{
+		"SELECT COUNT(*) AS n FROM",        // FROM with nothing after it
+		"SELECT COUNT(*) AS n",             // no FROM clause at all
+		"SELECT COUNT(*) AS n FROM 42",     // a number is not a namespace
+		"SELECT COUNT(*) AS n FROM 'users'", // neither is a string literal
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted a query without a namespace", src)
+		}
+	}
+}
+
+func TestRunUnknownNamespaceErrors(t *testing.T) {
+	// The store rejects namespaces that were never written, so a typo'd
+	// FROM clause surfaces as an error instead of zero rows. The frozen
+	// virtual namespaces are equally strict (see core's QuerySource tests,
+	// which reject unknown tables and snapshot numbers).
+	st := testStore(t)
+	if _, err := Run(st, "SELECT COUNT(*) AS n FROM nobody/here"); err == nil ||
+		!strings.Contains(err.Error(), "unknown namespace") {
+		t.Fatalf("err = %v, want unknown-namespace error", err)
+	}
+}
+
+func TestLexUnterminatedStringStillErrors(t *testing.T) {
+	if _, err := lex("SELECT 'oops"); err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("err = %v, want unterminated-string error", err)
+	}
+}

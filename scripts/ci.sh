@@ -12,6 +12,13 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
+
+# Invariant analyzers run before the tests: a determinism/viewonly/
+# ctxthread/errwrap/binlayout violation (or a stale crowdlint.allow
+# entry — the tool reports those as findings) fails CI before a single
+# test executes.
+go run ./cmd/crowdlint ./...
+
 go test -race ./...
 
 # Frozen-vs-builder equivalence under the race detector: the read-only
@@ -43,3 +50,6 @@ check_coverage ./internal/apiserver 70
 # format's integrity guarantees.
 check_coverage ./internal/store 70
 check_coverage ./internal/graph 70
+# The lint framework gates every other invariant, so it carries its own
+# floor: analyzers must stay fixture-tested as they grow.
+check_coverage ./internal/lint 70
