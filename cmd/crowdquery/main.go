@@ -79,7 +79,7 @@ func main() {
 }
 
 func runOne(src query.Source, stmt string) error {
-	res, err := query.Run(src, stmt)
+	res, err := query.Run(context.Background(), src, stmt)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,97 @@
+// Command crowdserve exposes a crawled store over HTTP through the
+// resilient serving layer: admission control with load shedding,
+// per-route deadlines propagated into store reads, a circuit breaker
+// around snapshot/store access, and graceful degradation to the
+// last-good frozen snapshot when the store misbehaves.
+//
+// Usage:
+//
+//	crowdserve -store crawl-data -addr :8080
+//
+// Routes: /healthz, /readyz, /statusz, /api/query?q=STMT,
+// /api/snapshot/{companies,investors,stats}. New frozen/snap-N
+// artifacts are hot-reloaded on the -refresh interval; SIGTERM drains
+// gracefully (readyz flips to 503, in-flight requests finish, then the
+// listener closes).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdscope/internal/serve"
+	"crowdscope/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crowdserve: ")
+	storeDir := flag.String("store", "crawl-data", "store directory (see crowdcrawl)")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", serve.DefaultMaxConcurrent, "max requests executing at once")
+	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "max requests waiting for a slot before shedding")
+	routeTimeout := flag.Duration("route-timeout", serve.DefaultRouteTimeout, "per-request deadline propagated into store reads")
+	refresh := flag.Duration("refresh", 5*time.Second, "poll interval for new frozen snapshots")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+	flag.Parse()
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(&serve.StoreBackend{Store: st}, serve.Options{
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		RouteTimeout:  *routeTimeout,
+		Clock:         time.Now,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Load the first snapshot; an empty or faulty store is not fatal —
+	// the server starts unready and keeps retrying on the ticker.
+	if err := srv.Refresh(ctx); err != nil {
+		log.Printf("initial snapshot load failed (serving unready until one lands): %v", err)
+	}
+	go func() {
+		t := time.NewTicker(*refresh)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := srv.Refresh(ctx); err != nil {
+					log.Printf("refresh: %v", err)
+				}
+			}
+		}
+	}()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		log.Print("signal received; draining")
+		srv.BeginDrain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	fmt.Printf("serving %s on %s\n", *storeDir, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained; bye")
+}

@@ -104,6 +104,16 @@ func BuildFrozen(ctx context.Context, st *store.Store, snap int) (int, error) {
 	return snap, nil
 }
 
+// LoadFrozenContext is LoadFrozen bounded by the caller's context.
+// Cancellation is checked before the blob read; the decode itself is
+// pure in-memory column slicing and runs to completion once started.
+func LoadFrozenContext(ctx context.Context, st *store.Store, snap int) (*FrozenSnapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: load frozen snapshot: %w", err)
+	}
+	return LoadFrozen(st, snap)
+}
+
 // LoadFrozen decodes the snapshot's frozen artifact. Pass snap -1 for
 // the latest frozen snapshot.
 func LoadFrozen(st *store.Store, snap int) (*FrozenSnapshot, error) {

@@ -167,7 +167,7 @@ func TestQuerySourceFrozenNamespaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := query.Run(src, "SELECT COUNT(*) AS n FROM frozen/snap-000000/companies")
+	res, err := query.Run(context.Background(), src, "SELECT COUNT(*) AS n FROM frozen/snap-000000/companies")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestQuerySourceFrozenNamespaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = query.Run(src, "SELECT COUNT(*) AS n FROM frozen/snap-000000/investors WHERE LEN(Investments) >= 1")
+	res, err = query.Run(context.Background(), src, "SELECT COUNT(*) AS n FROM frozen/snap-000000/investors WHERE LEN(Investments) >= 1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestQuerySourceFrozenNamespaces(t *testing.T) {
 	}
 
 	// Ordinary namespaces pass through to the store unchanged.
-	res, err = query.Run(src, "SELECT COUNT(*) AS n FROM angellist/startups")
+	res, err = query.Run(context.Background(), src, "SELECT COUNT(*) AS n FROM angellist/startups")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,16 +196,16 @@ func TestQuerySourceFrozenNamespaces(t *testing.T) {
 		t.Fatalf("passthrough rows = %v", res.Rows)
 	}
 
-	if err := src.Scan("frozen/snap-000000/ghosts", func([]byte) error { return nil }); err == nil {
+	if err := src.ScanContext(context.Background(), "frozen/snap-000000/ghosts", func([]byte) error { return nil }); err == nil {
 		t.Fatal("unknown frozen table must error")
 	}
-	if err := src.Scan("frozen/snap-000099/companies", func([]byte) error { return nil }); err == nil {
+	if err := src.ScanContext(context.Background(), "frozen/snap-000099/companies", func([]byte) error { return nil }); err == nil {
 		t.Fatal("unknown snapshot number must surface the LoadFrozen error")
 	}
-	if _, err := query.Run(src, "SELECT COUNT(*) AS n FROM frozen/snap-000099/companies"); err == nil {
+	if _, err := query.Run(context.Background(), src, "SELECT COUNT(*) AS n FROM frozen/snap-000099/companies"); err == nil {
 		t.Fatal("querying a nonexistent snapshot must error, not return empty rows")
 	}
-	if err := src.Scan("frozen/oops", func([]byte) error { return nil }); err == nil {
+	if err := src.ScanContext(context.Background(), "frozen/oops", func([]byte) error { return nil }); err == nil {
 		t.Fatal("malformed frozen namespace must error")
 	}
 }

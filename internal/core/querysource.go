@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -21,27 +22,32 @@ type QuerySource struct {
 	Store *store.Store
 }
 
-// Scan streams the namespace's records as JSON payloads.
-func (q *QuerySource) Scan(ns string, fn func(payload []byte) error) error {
+// ScanContext streams the namespace's records as JSON payloads under the
+// caller's context: cancellation is checked between records, so a route
+// deadline from the serving layer stops a scan mid-stream.
+func (q *QuerySource) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
 	if rest, ok := strings.CutPrefix(ns, "frozen/"); ok {
 		parts := strings.SplitN(rest, "/", 2)
 		var snap int
 		if len(parts) == 2 {
 			if _, err := fmt.Sscanf(parts[0], "snap-%d", &snap); err == nil {
-				return q.scanFrozen(snap, parts[1], fn)
+				return q.scanFrozen(ctx, snap, parts[1], fn)
 			}
 		}
 		return fmt.Errorf("core: malformed frozen namespace %q (want frozen/snap-N/{companies,investors})", ns)
 	}
-	return q.Store.Scan(ns, fn)
+	return q.Store.ScanContext(ctx, ns, fn)
 }
 
-func (q *QuerySource) scanFrozen(snap int, table string, fn func(payload []byte) error) error {
-	fs, err := LoadFrozen(q.Store, snap)
+func (q *QuerySource) scanFrozen(ctx context.Context, snap int, table string, fn func(payload []byte) error) error {
+	fs, err := LoadFrozenContext(ctx, q.Store, snap)
 	if err != nil {
 		return err
 	}
 	emit := func(v any) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: scan frozen snapshot %d: %w", snap, err)
+		}
 		payload, err := json.Marshal(v)
 		if err != nil {
 			return err

@@ -8,11 +8,12 @@ import (
 // AnalyzerCtxThread enforces cancellation discipline on blocking work:
 //
 //   - A function whose body sleeps, dials the network, issues HTTP
-//     requests, or performs durable store writes ((*store.Store).Writer,
-//     PutBlob, Compact) must receive a context.Context as its first
-//     parameter — or carry an *http.Request parameter, whose Context()
-//     serves the same role in handlers. Package main and internal/store
-//     itself (the layer being wrapped) are exempt.
+//     requests, performs durable store writes ((*store.Store).Writer,
+//     PutBlob, Compact), or triggers serving-layer backend reads
+//     ((*serve.Server).Refresh) must receive a context.Context as its
+//     first parameter — or carry an *http.Request parameter, whose
+//     Context() serves the same role in handlers. Package main and
+//     internal/store itself (the layer being wrapped) are exempt.
 //   - context.Background() and context.TODO() are confined to package
 //     main and tests: library code must thread the caller's context, not
 //     mint a fresh root that silently detaches cancellation.
@@ -25,6 +26,7 @@ var AnalyzerCtxThread = &Analyzer{
 func runCtxThread(m *Module) []Diagnostic {
 	var out []Diagnostic
 	storePath := m.internalPath("internal/store")
+	servePath := m.internalPath("internal/serve")
 
 	for _, pkg := range m.Packages {
 		isMain := pkg.Name() == "main"
@@ -56,7 +58,7 @@ func runCtxThread(m *Module) []Diagnostic {
 							"context.%s() outside package main detaches cancellation; accept the caller's ctx instead", fn.Name()))
 					}
 				}
-				what := blockingCall(fn, storePath)
+				what := blockingCall(fn, storePath, servePath)
 				if what == "" || isMain || pkg.Rel == "internal/store" {
 					return true
 				}
@@ -90,7 +92,7 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 
 // blockingCall names the blocking operation fn performs, or "" when fn is
 // not in the blocking set.
-func blockingCall(fn *types.Func, storePath string) string {
+func blockingCall(fn *types.Func, storePath, servePath string) string {
 	if fn.Pkg() == nil {
 		return ""
 	}
@@ -131,6 +133,10 @@ func blockingCall(fn *types.Func, storePath string) string {
 		switch fn.Name() {
 		case "Writer", "PutBlob", "Compact":
 			return "(*store.Store)." + fn.Name() + " (durable write)"
+		}
+	case recv.Obj().Pkg().Path() == servePath && recv.Obj().Name() == "Server":
+		if fn.Name() == "Refresh" {
+			return "(*serve.Server)." + fn.Name() + " (backend read)"
 		}
 	}
 	return ""

@@ -8,8 +8,11 @@ import (
 
 // deterministicPackages are the module-relative directories whose results
 // must be a pure function of their inputs and seeds: the parallel kernels'
-// bit-identical guarantee (PR 1) and the fault injector's replayability
-// (PR 2) both collapse if these packages consult ambient state.
+// bit-identical guarantee (PR 1), the fault injector's replayability
+// (PR 2) and the serving layer's breaker/shed transitions (PR 5) all
+// collapse if these packages consult ambient state. internal/serve gets
+// its time exclusively through an injected apiserver.Clock, which is why
+// its chaos traces replay bit-identically at a fixed seed.
 var deterministicPackages = map[string]bool{
 	"internal/ecosystem": true,
 	"internal/graph":     true,
@@ -20,6 +23,7 @@ var deterministicPackages = map[string]bool{
 	"internal/snapshot":  true,
 	"internal/dynamics":  true,
 	"internal/predict":   true,
+	"internal/serve":     true,
 }
 
 // allowedRandFuncs are math/rand package-level constructors that build

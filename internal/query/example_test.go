@@ -1,6 +1,7 @@
 package query_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -40,7 +41,7 @@ func ExampleRun() {
 		log.Fatal(err)
 	}
 
-	res, err := query.Run(st, `
+	res, err := query.Run(context.Background(), st, `
 		SELECT role, COUNT(*) AS n, AVG(follows) AS avg_follows
 		FROM users GROUP BY role ORDER BY n DESC`)
 	if err != nil {

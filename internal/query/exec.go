@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -17,43 +18,48 @@ type Result struct {
 }
 
 // Source is what a query reads from: anything that can stream a
-// namespace's records as JSON payloads. *store.Store satisfies it
-// directly; core's frozen query source additionally projects frozen
-// snapshot columns as virtual namespaces.
+// namespace's records as JSON payloads under the caller's context.
+// *store.Store satisfies it directly; core's frozen query source
+// additionally projects frozen snapshot columns as virtual namespaces.
+// Implementations must honour ctx cancellation between records, so a
+// route deadline set by the serving layer cuts a scan off mid-stream.
 type Source interface {
-	Scan(ns string, fn func(payload []byte) error) error
+	ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error
 }
 
 var _ Source = (*store.Store)(nil)
 
 // Run parses and executes a statement against the source on the
-// process-default executor.
-func Run(src Source, statement string) (*Result, error) {
-	return RunWith(src, statement, dataflow.NewExecutor(0))
+// process-default executor. The context bounds the whole execution:
+// record streaming stops at the first cancellation check after the
+// deadline passes.
+func Run(ctx context.Context, src Source, statement string) (*Result, error) {
+	return RunWith(ctx, src, statement, dataflow.NewExecutor(0))
 }
 
 // RunWith is Run under a specific dataflow executor, bounding the
 // parallelism of the filter/group stages.
-func RunWith(src Source, statement string, ex *dataflow.Executor) (*Result, error) {
+func RunWith(ctx context.Context, src Source, statement string, ex *dataflow.Executor) (*Result, error) {
 	q, err := Parse(statement)
 	if err != nil {
 		return nil, err
 	}
-	return q.ExecuteWith(src, ex)
+	return q.ExecuteWith(ctx, src, ex)
 }
 
 // Execute runs the parsed query on the process-default executor.
-func (q *Query) Execute(src Source) (*Result, error) {
-	return q.ExecuteWith(src, dataflow.NewExecutor(0))
+func (q *Query) Execute(ctx context.Context, src Source) (*Result, error) {
+	return q.ExecuteWith(ctx, src, dataflow.NewExecutor(0))
 }
 
-// ExecuteWith runs the parsed query: records stream out of the source,
-// the WHERE filter and grouping run on the dataflow engine under the
-// given executor, and ORDER BY / LIMIT shape the final table.
-func (q *Query) ExecuteWith(src Source, ex *dataflow.Executor) (*Result, error) {
+// ExecuteWith runs the parsed query: records stream out of the source
+// under the caller's context, the WHERE filter and grouping run on the
+// dataflow engine under the given executor, and ORDER BY / LIMIT shape
+// the final table.
+func (q *Query) ExecuteWith(ctx context.Context, src Source, ex *dataflow.Executor) (*Result, error) {
 	// Load the namespace into generic JSON records.
 	var records []map[string]any
-	err := src.Scan(q.namespace, func(payload []byte) error {
+	err := src.ScanContext(ctx, q.namespace, func(payload []byte) error {
 		var rec map[string]any
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return fmt.Errorf("query: bad record in %s: %w", q.namespace, err)

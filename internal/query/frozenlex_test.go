@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -58,7 +59,7 @@ func TestFrozenNamespaceSubtractionEndToEnd(t *testing.T) {
 	// The whole pipeline agrees with the lexer: the FROM clause keeps the
 	// dashed namespace whole while '-' in the SELECT list subtracts.
 	st := testStore(t)
-	res, err := Run(st, "SELECT follows - 1 AS f FROM users WHERE id = 'u3'")
+	res, err := Run(context.Background(), st, "SELECT follows - 1 AS f FROM users WHERE id = 'u3'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestRunUnknownNamespaceErrors(t *testing.T) {
 	// virtual namespaces are equally strict (see core's QuerySource tests,
 	// which reject unknown tables and snapshot numbers).
 	st := testStore(t)
-	if _, err := Run(st, "SELECT COUNT(*) AS n FROM nobody/here"); err == nil ||
+	if _, err := Run(context.Background(), st, "SELECT COUNT(*) AS n FROM nobody/here"); err == nil ||
 		!strings.Contains(err.Error(), "unknown namespace") {
 		t.Fatalf("err = %v, want unknown-namespace error", err)
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -49,7 +50,7 @@ func testStore(t *testing.T) *store.Store {
 
 func TestSelectFields(t *testing.T) {
 	st := testStore(t)
-	res, err := Run(st, "SELECT id, follows FROM users WHERE role = 'investor' ORDER BY follows DESC")
+	res, err := Run(context.Background(), st, "SELECT id, follows FROM users WHERE role = 'investor' ORDER BY follows DESC")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestSelectFields(t *testing.T) {
 
 func TestGroupByAggregates(t *testing.T) {
 	st := testStore(t)
-	res, err := Run(st, `
+	res, err := Run(context.Background(), st, `
 		SELECT role, COUNT(*) AS n, AVG(follows) AS avg_follows, MAX(follows) AS max_follows
 		FROM users GROUP BY role ORDER BY n DESC`)
 	if err != nil {
@@ -86,7 +87,7 @@ func TestGroupByAggregates(t *testing.T) {
 
 func TestGlobalAggregates(t *testing.T) {
 	st := testStore(t)
-	res, err := Run(st, "SELECT COUNT(*), SUM(follows), MIN(follows), SUM(follows)/COUNT(*) AS mean FROM users")
+	res, err := Run(context.Background(), st, "SELECT COUNT(*), SUM(follows), MIN(follows), SUM(follows)/COUNT(*) AS mean FROM users")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +102,14 @@ func TestGlobalAggregates(t *testing.T) {
 
 func TestLenAndNestedPath(t *testing.T) {
 	st := testStore(t)
-	res, err := Run(st, "SELECT id, LEN(investments) AS n FROM users WHERE LEN(investments) >= 1 ORDER BY n DESC")
+	res, err := Run(context.Background(), st, "SELECT id, LEN(investments) AS n FROM users WHERE LEN(investments) >= 1 ORDER BY n DESC")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Rows) != 2 || res.Rows[0][0] != "u1" {
 		t.Fatalf("rows = %v", res.Rows)
 	}
-	res, err = Run(st, "SELECT id FROM users WHERE profile.likes > 5")
+	res, err = Run(context.Background(), st, "SELECT id FROM users WHERE profile.likes > 5")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestLenAndNestedPath(t *testing.T) {
 
 func TestWhereLogicAndArithmetic(t *testing.T) {
 	st := testStore(t)
-	res, err := Run(st, "SELECT id FROM users WHERE (follows + 100) * 2 >= 600 AND NOT role = 'founder'")
+	res, err := Run(context.Background(), st, "SELECT id FROM users WHERE (follows + 100) * 2 >= 600 AND NOT role = 'founder'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestWhereLogicAndArithmetic(t *testing.T) {
 		t.Fatalf("rows = %v", res.Rows)
 	}
 	// OR branch.
-	res, _ = Run(st, "SELECT id FROM users WHERE role = 'founder' OR follows = 5 ORDER BY id")
+	res, _ = Run(context.Background(), st, "SELECT id FROM users WHERE role = 'founder' OR follows = 5 ORDER BY id")
 	if len(res.Rows) != 2 {
 		t.Fatalf("or rows = %v", res.Rows)
 	}
@@ -139,7 +140,7 @@ func TestWhereLogicAndArithmetic(t *testing.T) {
 
 func TestLimit(t *testing.T) {
 	st := testStore(t)
-	res, err := Run(st, "SELECT id FROM users ORDER BY id LIMIT 2")
+	res, err := Run(context.Background(), st, "SELECT id FROM users ORDER BY id LIMIT 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestLimit(t *testing.T) {
 func TestMissingFieldIsNull(t *testing.T) {
 	st := testStore(t)
 	// profile.likes is missing for most users; comparisons with NULL fail.
-	res, err := Run(st, "SELECT id FROM users WHERE profile.likes >= 0")
+	res, err := Run(context.Background(), st, "SELECT id FROM users WHERE profile.likes >= 0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestMissingFieldIsNull(t *testing.T) {
 		t.Fatalf("rows = %v", res.Rows)
 	}
 	// COUNT(x) skips nulls, COUNT(*) does not.
-	res, _ = Run(st, "SELECT COUNT(profile.likes), COUNT(*) FROM users")
+	res, _ = Run(context.Background(), st, "SELECT COUNT(profile.likes), COUNT(*) FROM users")
 	if res.Rows[0][0] != float64(1) || res.Rows[0][1] != float64(5) {
 		t.Fatalf("counts = %v", res.Rows[0])
 	}
@@ -190,17 +191,17 @@ func TestParseErrors(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	st := testStore(t)
-	if _, err := Run(st, "SELECT id FROM does_not_exist"); err == nil {
+	if _, err := Run(context.Background(), st, "SELECT id FROM does_not_exist"); err == nil {
 		t.Error("unknown namespace accepted")
 	}
-	if _, err := Run(st, "SELECT id FROM users ORDER BY unknown_col"); err == nil {
+	if _, err := Run(context.Background(), st, "SELECT id FROM users ORDER BY unknown_col"); err == nil {
 		t.Error("unmatched ORDER BY accepted")
 	}
 }
 
 func TestStringEscapes(t *testing.T) {
 	st := testStore(t)
-	res, err := Run(st, `SELECT id FROM users WHERE id = "u1"`)
+	res, err := Run(context.Background(), st, `SELECT id FROM users WHERE id = "u1"`)
 	if err != nil || len(res.Rows) != 1 {
 		t.Fatalf("double-quoted string: %v %v", res, err)
 	}
@@ -208,7 +209,7 @@ func TestStringEscapes(t *testing.T) {
 
 func TestKeywordCaseInsensitive(t *testing.T) {
 	st := testStore(t)
-	res, err := Run(st, "select id from users where role = 'founder'")
+	res, err := Run(context.Background(), st, "select id from users where role = 'founder'")
 	if err != nil || len(res.Rows) != 1 {
 		t.Fatalf("lowercase keywords: %v %v", res, err)
 	}
@@ -216,7 +217,7 @@ func TestKeywordCaseInsensitive(t *testing.T) {
 
 func TestDivisionByZeroIsNull(t *testing.T) {
 	st := testStore(t)
-	res, err := Run(st, "SELECT follows / 0 AS x FROM users LIMIT 1")
+	res, err := Run(context.Background(), st, "SELECT follows / 0 AS x FROM users LIMIT 1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestBoolLiteralsAndComparison(t *testing.T) {
 	_ = w.Append(map[string]any{"id": "a", "active": true})
 	_ = w.Append(map[string]any{"id": "b", "active": false})
 	_ = w.Close()
-	res, err := Run(st, "SELECT id FROM things WHERE active = TRUE")
+	res, err := Run(context.Background(), st, "SELECT id FROM things WHERE active = TRUE")
 	if err != nil || len(res.Rows) != 1 || res.Rows[0][0] != "a" {
 		t.Fatalf("bool query: %v %v", res, err)
 	}

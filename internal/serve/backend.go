@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"crowdscope/internal/core"
+	"crowdscope/internal/store"
+)
+
+// Backend is the serving layer's view of persistent data: discover the
+// newest frozen snapshot, load one, and stream a namespace for queries.
+// *StoreBackend implements it over a real store; the chaos suite wraps
+// it with a deterministic fault injector.
+type Backend interface {
+	// LatestFrozen returns the largest snapshot tag with a committed
+	// frozen artifact.
+	LatestFrozen(ctx context.Context) (int, error)
+	// LoadFrozen decodes the snapshot's frozen artifact (-1 = latest).
+	LoadFrozen(ctx context.Context, snap int) (*core.FrozenSnapshot, error)
+	// ScanContext streams a namespace's records as JSON payloads under
+	// the caller's context (the query.Source contract).
+	ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error
+}
+
+// StoreBackend serves directly from a crawled store, projecting frozen
+// snapshots through core.QuerySource's virtual namespaces.
+type StoreBackend struct {
+	Store *store.Store
+}
+
+// LatestFrozen implements Backend.
+func (b *StoreBackend) LatestFrozen(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("serve: latest frozen: %w", err)
+	}
+	return core.LatestFrozen(b.Store)
+}
+
+// LoadFrozen implements Backend.
+func (b *StoreBackend) LoadFrozen(ctx context.Context, snap int) (*core.FrozenSnapshot, error) {
+	return core.LoadFrozenContext(ctx, b.Store, snap)
+}
+
+// ScanContext implements Backend (and query.Source).
+func (b *StoreBackend) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
+	src := &core.QuerySource{Store: b.Store}
+	return src.ScanContext(ctx, ns, fn)
+}
+
+// snapCache holds the last-good frozen snapshot behind a pointer swap.
+// Readers always get a complete snapshot or nil; a failed reload never
+// tears down what is already being served, it only marks the cache
+// stale so responses can carry the X-CrowdScope-Stale header.
+type snapCache struct {
+	mu     sync.RWMutex
+	cur    *core.FrozenSnapshot
+	latest int  // newest snapshot tag observed in the store
+	stale  bool // last refresh failed, or cur lags latest
+}
+
+// get returns the cached snapshot (nil when nothing has loaded yet) and
+// whether it should be served as stale.
+func (c *snapCache) get() (*core.FrozenSnapshot, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cur, c.stale
+}
+
+// swap installs a freshly loaded snapshot as last-good.
+func (c *snapCache) swap(fs *core.FrozenSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cur = fs
+	if fs.Snapshot > c.latest {
+		c.latest = fs.Snapshot
+	}
+	c.stale = c.cur.Snapshot < c.latest
+}
+
+// observeLatest records the newest snapshot tag seen in the store and
+// re-derives staleness.
+func (c *snapCache) observeLatest(latest int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if latest > c.latest {
+		c.latest = latest
+	}
+	c.stale = c.cur == nil || c.cur.Snapshot < c.latest
+}
+
+// markStale records a failed refresh: whatever is cached stays served,
+// flagged as possibly behind the store.
+func (c *snapCache) markStale() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stale = true
+}

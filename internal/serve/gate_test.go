@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToCapacity(t *testing.T) {
+	g := newGate(2, 4)
+	ctx := context.Background()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.inFlight(); got != 2 {
+		t.Fatalf("inFlight = %d, want 2", got)
+	}
+	g.release()
+	g.release()
+	if got := g.inFlight(); got != 0 {
+		t.Fatalf("inFlight after release = %d, want 0", got)
+	}
+}
+
+func TestGateShedsWhenQueueFull(t *testing.T) {
+	g := newGate(1, 1)
+	ctx := context.Background()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter occupies the whole queue.
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- g.acquire(ctx) }()
+	waitFor(t, func() bool { return g.queued() == 1 })
+	// The next arrival finds the queue full and is shed immediately.
+	if err := g.acquire(ctx); !errors.Is(err, ErrShed) {
+		t.Fatalf("acquire with full queue = %v, want ErrShed", err)
+	}
+	// Releasing the slot admits the waiter.
+	g.release()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter failed: %v", err)
+	}
+	g.release()
+}
+
+func TestGateDeadlineWhileQueued(t *testing.T) {
+	g := newGate(1, 1)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("acquire = %v, want DeadlineExceeded", err)
+	}
+	// The expired waiter must have left the queue.
+	if got := g.queued(); got != 0 {
+		t.Fatalf("queued after expiry = %d, want 0", got)
+	}
+	g.release()
+	// The gate still works afterwards.
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.release()
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdscope/internal/core"
+	"crowdscope/internal/graph"
+	"crowdscope/internal/snapshot"
+	"crowdscope/internal/store"
+)
+
+// fakeClock is an injectable apiserver.Clock for deterministic breaker
+// and shed tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// putFrozen commits a small deterministic frozen snapshot artifact for
+// the given tag, shaped like BuildFrozen's output but built directly so
+// tests do not need a full crawl pipeline.
+func putFrozen(t testing.TB, st *store.Store, snap int) {
+	t.Helper()
+	investors := []core.Investor{
+		{ID: "inv-a", Investments: []string{"co-1", "co-2"}, Follows: 4 + snap},
+		{ID: "inv-b", Investments: []string{"co-1"}, Follows: 1},
+	}
+	fs := &core.FrozenSnapshot{
+		Snapshot: snap,
+		Companies: []core.Company{
+			{ID: "co-1", Name: "Acme", Raising: true, HasTwitter: true, Likes: 10 + snap},
+			{ID: "co-2", Name: "Bolt", Funded: true, Followers: 7},
+		},
+		Investors: investors,
+		Graph:     graph.FreezeBipartite(core.BuildInvestorGraph(investors)),
+	}
+	data, err := core.EncodeFrozen(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutBlob(core.FrozenNamespace(snap), snapshot.FormatVersion, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testStore builds a store holding `snaps` frozen snapshots (tags
+// 0..snaps-1) plus a small "users" JSON namespace for query-route tests.
+// Contents are fully deterministic.
+func testStore(t testing.TB, snaps int) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < snaps; i++ {
+		putFrozen(t, st, i)
+	}
+	w, err := st.Writer("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := w.Append(map[string]any{"id": fmt.Sprintf("u%02d", i), "follows": i * 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// testOptions is the shared deterministic server configuration: a small
+// breaker window so a handful of failures trips it.
+func testOptions(clk *fakeClock) Options {
+	return Options{
+		Clock: clk.Now,
+		Breaker: BreakerConfig{
+			MinRequests: 5,
+			ErrorRate:   0.5,
+			Cooldown:    2 * time.Second,
+		},
+	}
+}
+
+// get performs one in-process request and returns the recorder.
+func get(t testing.TB, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func queryURL(stmt string) string {
+	return "/api/query?q=" + url.QueryEscape(stmt)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// stubBackend is a minimal canned Backend for unit tests.
+type stubBackend struct {
+	latest  int
+	fs      *core.FrozenSnapshot
+	scanErr error
+}
+
+func (s *stubBackend) LatestFrozen(ctx context.Context) (int, error) { return s.latest, nil }
+
+func (s *stubBackend) LoadFrozen(ctx context.Context, snap int) (*core.FrozenSnapshot, error) {
+	return s.fs, nil
+}
+
+func (s *stubBackend) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
+	return s.scanErr
+}

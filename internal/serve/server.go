@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdscope/internal/apiserver"
+	"crowdscope/internal/core"
+	"crowdscope/internal/query"
+)
+
+// HeaderStale marks a response served from the last-good cached
+// snapshot while the store (or a newer artifact) is unreachable; its
+// value is the served snapshot's namespace tag, e.g. "snap-000002".
+const HeaderStale = "X-CrowdScope-Stale"
+
+// DefaultRouteTimeout bounds each /api request end to end; the deadline
+// propagates as a context through query, core and store reads.
+const DefaultRouteTimeout = 5 * time.Second
+
+// Options configures the serving layer. Clock is mandatory — the
+// package is in crowdlint's deterministic set, so cmd/crowdserve wires
+// time.Now and tests inject fakes.
+type Options struct {
+	// MaxConcurrent bounds requests executing at once; default
+	// DefaultMaxConcurrent.
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for a slot; arrivals beyond it
+	// are shed with 429. Default DefaultQueueDepth.
+	QueueDepth int
+	// RouteTimeout is the per-request deadline for /api routes; default
+	// DefaultRouteTimeout.
+	RouteTimeout time.Duration
+	// RetryAfterSecs is advertised on shed responses; default
+	// DefaultRetryAfterSecs.
+	RetryAfterSecs int
+	// Breaker tunes the circuit breaker around backend reads; its Clock
+	// defaults to Options.Clock.
+	Breaker BreakerConfig
+	// Clock supplies all serving-layer time.
+	Clock apiserver.Clock
+}
+
+func (o *Options) fill() {
+	if o.Clock == nil {
+		panic("serve: Options.Clock is required (wire time.Now in package main)")
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.RouteTimeout <= 0 {
+		o.RouteTimeout = DefaultRouteTimeout
+	}
+	if o.RetryAfterSecs <= 0 {
+		o.RetryAfterSecs = DefaultRetryAfterSecs
+	}
+	if o.Breaker.Clock == nil {
+		o.Breaker.Clock = o.Clock
+	}
+}
+
+// Server is the resilient HTTP layer over a Backend.
+//
+// Routes:
+//
+//	GET /healthz                     liveness (always 200 while the process runs)
+//	GET /readyz                      readiness (503 until a snapshot is loaded, or while draining)
+//	GET /statusz                     gate/breaker/cache observability snapshot
+//	GET /api/query?q=STMT            run a query statement (admission + breaker + deadline)
+//	GET /api/snapshot/companies      cached frozen companies (degradable)
+//	GET /api/snapshot/investors      cached frozen investors (degradable)
+//	GET /api/snapshot/stats          cached frozen graph stats (degradable)
+//
+// The /api routes pass through admission control and carry the route
+// timeout; snapshot routes degrade to the last-good cached artifact
+// (marked with X-CrowdScope-Stale) when live reads fail.
+type Server struct {
+	backend Backend
+	opts    Options
+	gate    *gate
+	breaker *Breaker
+	cache   snapCache
+	mux     *http.ServeMux
+
+	draining  atomic.Bool
+	refreshMu sync.Mutex // single-flights opportunistic refreshes
+
+	shed     atomic.Int64
+	served   atomic.Int64
+	degraded atomic.Int64
+}
+
+// New builds a server over the backend. Call Refresh to load the first
+// snapshot before serving traffic (readyz reports 503 until one loads).
+func New(backend Backend, opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		backend: backend,
+		opts:    opts,
+		gate:    newGate(opts.MaxConcurrent, opts.QueueDepth),
+		breaker: NewBreaker(opts.Breaker),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.Handle("/api/query", s.withAdmission(http.HandlerFunc(s.handleQuery)))
+	s.mux.Handle("/api/snapshot/companies", s.withAdmission(s.snapshotHandler(
+		func(fs *core.FrozenSnapshot) any { return fs.Companies })))
+	s.mux.Handle("/api/snapshot/investors", s.withAdmission(s.snapshotHandler(
+		func(fs *core.FrozenSnapshot) any { return fs.Investors })))
+	s.mux.Handle("/api/snapshot/stats", s.withAdmission(s.snapshotHandler(
+		func(fs *core.FrozenSnapshot) any {
+			return SnapshotStats{
+				Snapshot:  fs.Snapshot,
+				Companies: len(fs.Companies),
+				Investors: len(fs.Investors),
+				Graph:     core.InvestorGraphStats(fs.Graph),
+			}
+		})))
+	return s
+}
+
+// SnapshotStats is the /api/snapshot/stats response body.
+type SnapshotStats struct {
+	Snapshot  int             `json:"snapshot"`
+	Companies int             `json:"companies"`
+	Investors int             `json:"investors"`
+	Graph     core.GraphStats `json:"graph"`
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Breaker exposes the backend-read breaker for observability and tests.
+func (s *Server) Breaker() *Breaker { return s.breaker }
+
+// Shed reports how many requests have been rejected by admission
+// control (queue full or deadline expired while queued).
+func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// Degraded reports how many responses were served from the stale
+// last-good snapshot.
+func (s *Server) Degraded() int64 { return s.degraded.Load() }
+
+// BeginDrain flips the server into drain mode: readyz reports 503 so
+// load balancers stop routing here, and new /api requests are refused
+// while in-flight ones finish. cmd/crowdserve calls it on SIGTERM
+// before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Refresh observes the store's newest frozen snapshot and, when the
+// cache lags it (or is empty), loads it through the breaker and swaps
+// it in as last-good. On any failure the previous snapshot keeps
+// serving and the cache is marked stale.
+func (s *Server) Refresh(ctx context.Context) error {
+	var latest int
+	err := s.breaker.Do(ctx, func(ctx context.Context) error {
+		var err error
+		latest, err = s.backend.LatestFrozen(ctx)
+		return err
+	})
+	if err != nil {
+		s.cache.markStale()
+		return fmt.Errorf("serve: refresh: %w", err)
+	}
+	s.cache.observeLatest(latest)
+	if cur, _ := s.cache.get(); cur != nil && cur.Snapshot >= latest {
+		return nil
+	}
+	var fs *core.FrozenSnapshot
+	err = s.breaker.Do(ctx, func(ctx context.Context) error {
+		var err error
+		fs, err = s.backend.LoadFrozen(ctx, latest)
+		return err
+	})
+	if err != nil {
+		s.cache.markStale()
+		return fmt.Errorf("serve: refresh: %w", err)
+	}
+	s.cache.swap(fs)
+	return nil
+}
+
+// ensureFresh opportunistically refreshes the cache before serving a
+// snapshot route. It single-flights: when another request is already
+// refreshing, or the breaker is open, the caller serves whatever is
+// cached. Failures are deliberately swallowed — degradation, not
+// errors, is the contract for snapshot routes.
+func (s *Server) ensureFresh(ctx context.Context) {
+	if !s.refreshMu.TryLock() {
+		return
+	}
+	defer s.refreshMu.Unlock()
+	//lint:ignore errwrap a failed opportunistic refresh must not fail the request; the cache is marked stale and the route degrades
+	_ = s.Refresh(ctx)
+}
+
+// ---- Wire plumbing (the apiserver's conventions: JSON error bodies,
+// Retry-After in whole seconds) ----
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//lint:ignore errwrap the status line is already on the wire; an encode failure here has no channel back to the client
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// withAdmission is the admission-control middleware: drain refusal,
+// per-route deadline, then the bounded gate. Shed requests get 429 with
+// Retry-After instead of waiting unboundedly.
+func (s *Server) withAdmission(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Connection", "close")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RouteTimeout)
+		defer cancel()
+		if err := s.gate.acquire(ctx); err != nil {
+			// Queue full and deadline-expired-while-queued both mean the
+			// same thing to the client: overloaded, come back later.
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfterSecs))
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "server overloaded; retry later"})
+			return
+		}
+		defer s.gate.release()
+		s.served.Add(1)
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// ---- Routes ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "draining"})
+		return
+	}
+	if fs, _ := s.cache.get(); fs == nil {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "no snapshot loaded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// Status is the /statusz observability snapshot.
+type Status struct {
+	InFlight     int    `json:"in_flight"`
+	Queued       int    `json:"queued"`
+	Shed         int64  `json:"shed"`
+	Served       int64  `json:"served"`
+	Degraded     int64  `json:"degraded"`
+	BreakerState string `json:"breaker_state"`
+	BreakerTrips int64  `json:"breaker_trips"`
+	Snapshot     int    `json:"snapshot"`
+	Stale        bool   `json:"stale"`
+	Draining     bool   `json:"draining"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	st := Status{
+		InFlight:     s.gate.inFlight(),
+		Queued:       s.gate.queued(),
+		Shed:         s.shed.Load(),
+		Served:       s.served.Load(),
+		Degraded:     s.degraded.Load(),
+		BreakerState: s.breaker.State().String(),
+		BreakerTrips: s.breaker.Trips(),
+		Snapshot:     -1,
+		Draining:     s.draining.Load(),
+	}
+	if fs, stale := s.cache.get(); fs != nil {
+		st.Snapshot = fs.Snapshot
+		st.Stale = stale
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// breakerSource routes query scans through the circuit breaker so a
+// misbehaving store trips it and subsequent queries fail fast.
+type breakerSource struct{ s *Server }
+
+func (bs breakerSource) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
+	return bs.s.breaker.Do(ctx, func(ctx context.Context) error {
+		return bs.s.backend.ScanContext(ctx, ns, fn)
+	})
+}
+
+var _ query.Source = breakerSource{}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	stmt := r.URL.Query().Get("q")
+	if stmt == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing q parameter"})
+		return
+	}
+	q, err := query.Parse(stmt)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	res, err := q.Execute(r.Context(), breakerSource{s})
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrBreakerOpen):
+		w.Header().Set("Retry-After", strconv.Itoa(s.breaker.RetryAfter()))
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "store circuit breaker open; retry later"})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "query exceeded the route deadline"})
+	default:
+		// The statement parsed; failing to execute it is a backend
+		// problem, not a client one.
+		writeJSON(w, http.StatusBadGateway, apiError{Error: err.Error()})
+	}
+}
+
+// snapshotHandler builds a degradable route over the cached snapshot:
+// try a (single-flighted, breaker-guarded) refresh, then serve whatever
+// the cache holds — marked stale when the store is ahead or
+// unreachable. Only a completely empty cache yields an error response.
+func (s *Server) snapshotHandler(project func(*core.FrozenSnapshot) any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.ensureFresh(r.Context())
+		fs, stale := s.cache.get()
+		if fs == nil {
+			w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfterSecs))
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "no snapshot available yet"})
+			return
+		}
+		if stale {
+			s.degraded.Add(1)
+			w.Header().Set(HeaderStale, fmt.Sprintf("snap-%06d", fs.Snapshot))
+		}
+		writeJSON(w, http.StatusOK, project(fs))
+	})
+}

@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdscope/internal/core"
+	"crowdscope/internal/query"
+)
+
+func TestServerLifecycle(t *testing.T) {
+	st := testStore(t, 1)
+	clk := newFakeClock()
+	srv := New(&StoreBackend{Store: st}, testOptions(clk))
+	h := srv.Handler()
+
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before first snapshot = %d, want 503", rec.Code)
+	}
+	if err := srv.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("readyz after refresh = %d, want 200", rec.Code)
+	}
+
+	rec := get(t, h, "/api/snapshot/companies")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("companies = %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(HeaderStale); got != "" {
+		t.Fatalf("fresh response carries %s: %q", HeaderStale, got)
+	}
+	var companies []core.Company
+	if err := json.Unmarshal(rec.Body.Bytes(), &companies); err != nil {
+		t.Fatal(err)
+	}
+	if len(companies) != 2 || companies[0].ID != "co-1" {
+		t.Fatalf("unexpected companies payload: %+v", companies)
+	}
+
+	rec = get(t, h, "/api/snapshot/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	var stats SnapshotStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Snapshot != 0 || stats.Companies != 2 || stats.Investors != 2 || stats.Graph.Edges != 3 {
+		t.Fatalf("unexpected stats: %+v", stats)
+	}
+
+	rec = get(t, h, "/statusz")
+	var status Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Snapshot != 0 || status.Stale || status.Draining || status.BreakerState != "closed" {
+		t.Fatalf("unexpected statusz: %+v", status)
+	}
+	if status.Served != 2 {
+		t.Fatalf("served = %d, want 2", status.Served)
+	}
+}
+
+func TestServerQueryRoute(t *testing.T) {
+	st := testStore(t, 1)
+	clk := newFakeClock()
+	srv := New(&StoreBackend{Store: st}, testOptions(clk))
+	h := srv.Handler()
+
+	rec := get(t, h, queryURL("SELECT COUNT(*) AS n FROM users"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d: %s", rec.Code, rec.Body)
+	}
+	var res query.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != float64(8) {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+
+	// Frozen snapshots are queryable through their virtual namespaces.
+	rec = get(t, h, queryURL("SELECT COUNT(*) AS n FROM frozen/snap-000000/companies"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("frozen query = %d: %s", rec.Code, rec.Body)
+	}
+
+	if rec := get(t, h, "/api/query"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing q = %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, queryURL("SELECT FROM")); rec.Code != http.StatusBadRequest {
+		t.Fatalf("parse error = %d, want 400", rec.Code)
+	}
+}
+
+func TestServerQueryBackendErrorIs502(t *testing.T) {
+	clk := newFakeClock()
+	srv := New(&stubBackend{scanErr: errors.New("disk on fire")}, testOptions(clk))
+	rec := get(t, srv.Handler(), queryURL("SELECT COUNT(*) AS n FROM users"))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("backend failure = %d, want 502: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestServerQueryDeadlineIs504(t *testing.T) {
+	st := testStore(t, 1)
+	clk := newFakeClock()
+	opts := testOptions(clk)
+	opts.RouteTimeout = time.Nanosecond // expires before the scan starts
+	srv := New(&StoreBackend{Store: st}, opts)
+	rec := get(t, srv.Handler(), queryURL("SELECT COUNT(*) AS n FROM users"))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline = %d, want 504: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestServerDegradesToLastGoodSnapshot(t *testing.T) {
+	st := testStore(t, 2)
+	clk := newFakeClock()
+	faulty := NewFaultyBackend(&StoreBackend{Store: st}, FaultConfig{Seed: 1, Rate: 1.0})
+	faulty.SetEnabled(false)
+	srv := New(faulty, testOptions(clk))
+	h := srv.Handler()
+	if err := srv.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A newer artifact lands, but the store starts failing before the
+	// server can load it: degradable routes keep serving the last-good
+	// snapshot, marked stale, instead of erroring.
+	putFrozen(t, st, 2)
+	faulty.SetEnabled(true)
+	rec := get(t, h, "/api/snapshot/companies")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded route = %d, want 200: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(HeaderStale); got != "snap-000001" {
+		t.Fatalf("%s = %q, want snap-000001", HeaderStale, got)
+	}
+	if srv.Degraded() == 0 {
+		t.Fatal("degraded counter did not advance")
+	}
+
+	// Store recovers: the next request refreshes to the new snapshot and
+	// the stale marker disappears.
+	faulty.SetEnabled(false)
+	rec = get(t, h, "/api/snapshot/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recovered route = %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(HeaderStale); got != "" {
+		t.Fatalf("recovered response still stale: %q", got)
+	}
+	var stats SnapshotStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Snapshot != 2 {
+		t.Fatalf("recovered snapshot = %d, want 2", stats.Snapshot)
+	}
+}
+
+// blockingBackend parks every scan until release is closed, letting
+// tests fill the admission gate deterministically.
+type blockingBackend struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingBackend) LatestFrozen(ctx context.Context) (int, error) { return 0, nil }
+
+func (b *blockingBackend) LoadFrozen(ctx context.Context, snap int) (*core.FrozenSnapshot, error) {
+	return nil, errors.New("no snapshot")
+}
+
+func (b *blockingBackend) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
+	b.entered <- struct{}{}
+	select {
+	case <-b.release:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func TestServerShedsWithRetryAfter(t *testing.T) {
+	bb := &blockingBackend{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	clk := newFakeClock()
+	opts := testOptions(clk)
+	opts.MaxConcurrent = 1
+	opts.QueueDepth = 1
+	opts.RetryAfterSecs = 7
+	srv := New(bb, opts)
+	h := srv.Handler()
+
+	codes := make(chan int, 2)
+	go func() { codes <- get(t, h, queryURL("SELECT COUNT(*) AS n FROM users")).Code }()
+	<-bb.entered // first request holds the only slot, parked in its scan
+	go func() { codes <- get(t, h, queryURL("SELECT COUNT(*) AS n FROM users")).Code }()
+	waitFor(t, func() bool { return srv.gate.queued() == 1 })
+
+	// Slot busy, queue full: the third arrival is shed immediately.
+	rec := get(t, h, queryURL("SELECT COUNT(*) AS n FROM users"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload = %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want 7", got)
+	}
+	if got := srv.Shed(); got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+
+	close(bb.release)
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("blocked request %d finished with %d", i, code)
+		}
+	}
+}
+
+// gaugeBackend tracks the peak number of concurrent scans flowing into
+// the backend — the observable form of the admission bound.
+type gaugeBackend struct {
+	Backend
+	mu       sync.Mutex
+	cur, max int
+}
+
+func (g *gaugeBackend) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
+	g.mu.Lock()
+	g.cur++
+	if g.cur > g.max {
+		g.max = g.cur
+	}
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.cur--
+		g.mu.Unlock()
+	}()
+	time.Sleep(2 * time.Millisecond) // hold the slot long enough to overlap
+	return g.Backend.ScanContext(ctx, ns, fn)
+}
+
+func (g *gaugeBackend) peak() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+func TestServerConcurrencyBoundNeverExceeded(t *testing.T) {
+	st := testStore(t, 1)
+	gb := &gaugeBackend{Backend: &StoreBackend{Store: st}}
+	clk := newFakeClock()
+	opts := testOptions(clk)
+	opts.MaxConcurrent = 3
+	opts.QueueDepth = 3
+	srv := New(gb, opts)
+	h := srv.Handler()
+
+	const n = 24
+	start := make(chan struct{})
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			codes <- get(t, h, queryURL("SELECT COUNT(*) AS n FROM users")).Code
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(codes)
+
+	var ok, shed int
+	for code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if ok+shed != n {
+		t.Fatalf("ok %d + shed %d != %d", ok, shed, n)
+	}
+	if got := gb.peak(); got > opts.MaxConcurrent {
+		t.Fatalf("peak concurrency %d exceeded the bound %d", got, opts.MaxConcurrent)
+	}
+	if got := srv.Shed(); got != int64(shed) {
+		t.Fatalf("shed counter %d != observed 429s %d", got, shed)
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	st := testStore(t, 1)
+	clk := newFakeClock()
+	srv := New(&StoreBackend{Store: st}, testOptions(clk))
+	if err := srv.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+
+	srv.BeginDrain()
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", rec.Code)
+	}
+	rec := get(t, h, queryURL("SELECT COUNT(*) AS n FROM users"))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining api = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Connection"); got != "close" {
+		t.Fatalf("Connection = %q, want close", got)
+	}
+	// Liveness stays green so the process is not killed mid-drain.
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("draining healthz = %d, want 200", rec.Code)
+	}
+}

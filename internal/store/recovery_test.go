@@ -1,0 +1,209 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// crashFile plants a file exactly where a crashed write would have left
+// it: created, possibly partially written, never committed.
+func crashFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenSweepsManifestTmp(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	crashFile(t, tmp, []byte("{half a manif"))
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("manifest tmp survived reopen: stat err = %v", err)
+	}
+}
+
+func TestOpenSweepsCrashedPutBlob(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutBlob("frozen/snap-000000", 1, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between the blob file write and the manifest commit leaves
+	// blob-000001.bin on disk with NextSeq still 1 — the exact O_EXCL
+	// path the next PutBlob will try to create.
+	orphan := filepath.Join(dir, nsDir("frozen/snap-000000"), "blob-000001.bin")
+	crashFile(t, orphan, []byte("half-written artifact"))
+
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphaned blob survived reopen: stat err = %v", err)
+	}
+	if err := s.PutBlob("frozen/snap-000000", 1, []byte("replacement")); err != nil {
+		t.Fatalf("PutBlob after crash recovery: %v", err)
+	}
+	data, _, err := s.GetBlob("frozen/snap-000000")
+	if err != nil || string(data) != "replacement" {
+		t.Fatalf("GetBlob = %q, %v", data, err)
+	}
+}
+
+func TestOpenSweepsCrashedCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Writer("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append(rec{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compact writes its merged segment at NextSeq before committing; a
+	// crash right after that write strands the file at the path the next
+	// Compact (or Writer) will reserve with O_EXCL.
+	s.mu.Lock()
+	seq := s.manifest.Namespaces["ns"].NextSeq
+	s.mu.Unlock()
+	orphan := filepath.Join(dir, nsDir("ns"), fmt.Sprintf("seg-%06d.csg", seq))
+	crashFile(t, orphan, []byte(segmentMagic))
+
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphaned compact segment survived reopen: stat err = %v", err)
+	}
+	if err := s.Compact("ns"); err != nil {
+		t.Fatalf("Compact after crash recovery: %v", err)
+	}
+	got, err := ReadAll[rec](s, "ns")
+	if err != nil || len(got) != 10 {
+		t.Fatalf("ReadAll after recovered compact = %d recs, %v", len(got), err)
+	}
+}
+
+func TestOpenSweepKeepsCommittedAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Writer("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "NOTES.txt")
+	crashFile(t, foreign, []byte("not ours to delete"))
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("sweep removed a foreign file: %v", err)
+	}
+	got, err := ReadAll[rec](s, "ns")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("committed data lost after sweep: %d recs, %v", len(got), err)
+	}
+}
+
+func TestScanMissingSegmentTypedError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Writer("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	segFile := s.manifest.Namespaces["ns"].Segments[0].File
+	s.mu.Unlock()
+	if err := os.Remove(filepath.Join(dir, segFile)); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Scan("ns", func([]byte) error { return nil })
+	if !errors.Is(err, ErrSegmentMissing) {
+		t.Fatalf("Scan err = %v, want ErrSegmentMissing in the %%w chain", err)
+	}
+	if !strings.Contains(err.Error(), segFile) {
+		t.Fatalf("error %q does not name the missing segment path", err)
+	}
+}
+
+func TestScanContextHonoursCancellation(t *testing.T) {
+	s := openTemp(t)
+	w, err := s.Writer("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := w.Append(rec{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	err = s.ScanContext(ctx, "ns", func([]byte) error {
+		seen++
+		if seen == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanContext err = %v, want context.Canceled", err)
+	}
+	if seen != 3 {
+		t.Fatalf("scan streamed %d records past cancellation", seen)
+	}
+}

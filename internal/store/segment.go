@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 )
 
@@ -30,6 +31,12 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrCorrupt reports a failed integrity check during a segment scan.
 var ErrCorrupt = errors.New("store: corrupt segment")
+
+// ErrSegmentMissing reports that a manifest-listed segment file is absent
+// on disk — the manifest and the data files disagree, typically because a
+// file was deleted out from under the store. Errors wrap it with the
+// missing path, so callers can both errors.Is-match and report the file.
+var ErrSegmentMissing = errors.New("store: segment file missing")
 
 // segmentWriter appends framed records to a file.
 type segmentWriter struct {
@@ -99,6 +106,9 @@ func (sw *segmentWriter) abort() {
 func scanSegment(path string, expectRecords int64, fn func(payload []byte) error) error {
 	f, err := os.Open(path)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("%w: %s", ErrSegmentMissing, path)
+		}
 		return fmt.Errorf("store: open segment: %w", err)
 	}
 	defer f.Close()

@@ -1,9 +1,11 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,12 +39,52 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := sweepOrphans(dir, m); err != nil {
+		return nil, err
+	}
 	return &Store{
 		dir:          dir,
 		manifest:     m,
 		writers:      map[string]bool{},
 		SegmentBytes: DefaultSegmentBytes,
 	}, nil
+}
+
+// sweepOrphans removes the debris a crash mid-commit can leave behind:
+// *.tmp files from interrupted manifest commits, and segment/blob files
+// that were written but never committed to the manifest. Uncommitted
+// files are invisible to readers, but they occupy the exact path the
+// namespace's next write reserves (segment and blob files are created
+// with O_EXCL at NextSeq), so a crashed PutBlob or Compact would
+// otherwise wedge the namespace permanently. Only files matching the
+// store's own naming patterns are touched; anything else in the
+// directory is left alone.
+func sweepOrphans(dir string, m *manifest) error {
+	committed := map[string]bool{}
+	for _, info := range m.Namespaces {
+		for _, seg := range info.Segments {
+			committed[filepath.Join(dir, seg.File)] = true
+		}
+		if info.Blob != nil {
+			committed[filepath.Join(dir, info.Blob.File)] = true
+		}
+	}
+	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		uncommittedData := (strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".csg") ||
+			strings.HasPrefix(name, "blob-") && strings.HasSuffix(name, ".bin")) &&
+			!committed[path]
+		if !strings.HasSuffix(name, ".tmp") && !uncommittedData {
+			return nil
+		}
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("store: sweep orphan %s: %w", name, err)
+		}
+		return nil
+	})
 }
 
 // Dir returns the store's root directory.
@@ -223,7 +265,8 @@ func (w *Writer) Close() error {
 // Scan streams every committed record of the namespace, in append order,
 // to fn. The payload slice is reused; fn must copy it if retained. Scan
 // verifies record CRCs and per-segment record counts, returning an error
-// wrapping ErrCorrupt on integrity failure. Scanning an unknown namespace
+// wrapping ErrCorrupt on integrity failure (or ErrSegmentMissing when a
+// manifest-listed segment file is absent). Scanning an unknown namespace
 // is an error.
 func (s *Store) Scan(ns string, fn func(payload []byte) error) error {
 	segs, err := s.snapshot(ns)
@@ -236,6 +279,19 @@ func (s *Store) Scan(ns string, fn func(payload []byte) error) error {
 		}
 	}
 	return nil
+}
+
+// ScanContext is Scan bounded by the caller's context: cancellation is
+// checked before every record, so a deadline cuts a long scan off
+// mid-stream instead of streaming the namespace to completion. It is the
+// deadline-propagation hook the serving layer relies on.
+func (s *Store) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
+	return s.Scan(ns, func(payload []byte) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("store: scan %q: %w", ns, err)
+		}
+		return fn(payload)
+	})
 }
 
 // snapshot returns the committed segment list for a namespace.

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Snapshot-load benchmark for the frozen-artifact PR: runs
-# BenchmarkSnapshotLoad (frozen columnar decode vs raw-JSON rebuild) and
-# emits BENCH_PR3.json with the per-path ns/op and the measured speedup.
+# Benchmark snapshots per PR:
+#   - BENCH_PR3.json: BenchmarkSnapshotLoad (frozen columnar decode vs
+#     raw-JSON rebuild) with the measured speedup.
+#   - BENCH_PR5.json: serving-layer throughput (snapshot + query routes)
+#     and the p99 latency of shedding a request when overloaded.
 #
 # Usage: scripts/bench.sh [count]   (default 3 benchmark iterations)
 set -euo pipefail
@@ -37,3 +39,43 @@ awk -v count="$COUNT" '
 
 cat "$OUT"
 echo "wrote $OUT"
+
+# ---- PR 5: serving-layer throughput and shed latency ----
+OUT5=BENCH_PR5.json
+RAW5=$(mktemp)
+trap 'rm -f "$RAW" "$RAW5"' EXIT
+
+go test -run '^$' -bench '^BenchmarkServe' -benchtime 2s ./internal/serve | tee "$RAW5"
+
+awk '
+  /^BenchmarkServeSnapshotStats/ {
+    stats_ns = $3
+    for (i = 1; i <= NF; i++) if ($i == "req/s") stats_rps = $(i - 1)
+  }
+  /^BenchmarkServeQuery/ {
+    query_ns = $3
+    for (i = 1; i <= NF; i++) if ($i == "req/s") query_rps = $(i - 1)
+  }
+  /^BenchmarkServeShedLatency/ {
+    shed_ns = $3
+    for (i = 1; i <= NF; i++) if ($i == "p99-shed-ns") shed_p99 = $(i - 1)
+  }
+  END {
+    if (stats_rps == "" || query_rps == "" || shed_p99 == "") {
+      print "bench: missing serve benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    printf "{\n"
+    printf "  \"benchmark\": \"ServeLayer\",\n"
+    printf "  \"snapshot_stats_ns_per_op\": %s,\n", stats_ns
+    printf "  \"snapshot_stats_req_per_sec\": %s,\n", stats_rps
+    printf "  \"query_ns_per_op\": %s,\n", query_ns
+    printf "  \"query_req_per_sec\": %s,\n", query_rps
+    printf "  \"shed_ns_per_op\": %s,\n", shed_ns
+    printf "  \"shed_p99_ns\": %s\n", shed_p99
+    printf "}\n"
+  }
+' "$RAW5" > "$OUT5"
+
+cat "$OUT5"
+echo "wrote $OUT5"

@@ -26,6 +26,12 @@ go test -race ./...
 # and the frozen CSR snapshot, on every parallel kernel.
 go test -race -run 'Frozen' ./internal/graph ./internal/core .
 
+# Serving-layer chaos suite under the race detector: seeded backend
+# faults must yield bounded error rates, deterministic breaker
+# transitions and stale-marked degradation with no data races in the
+# gate/breaker/cache hot paths.
+go test -race -run 'Chaos' ./internal/serve
+
 # Per-package coverage floors (percent).
 check_coverage() {
   local pkg="$1" floor="$2" out pct
@@ -53,3 +59,7 @@ check_coverage ./internal/graph 70
 # The lint framework gates every other invariant, so it carries its own
 # floor: analyzers must stay fixture-tested as they grow.
 check_coverage ./internal/lint 70
+# The resilient serving layer: admission, breaker and degradation paths
+# are exactly the code that only misbehaves under production stress, so
+# the chaos/unit suites must keep exercising them.
+check_coverage ./internal/serve 70
