@@ -36,6 +36,7 @@ func main() {
 	storeDir := flag.String("store", "crawl-data", "store directory (see crowdcrawl)")
 	workers := flag.Int("workers", 0, "worker pool size for query execution (<=0: GOMAXPROCS)")
 	rebuild := flag.Bool("rebuild-snapshot", false, "regenerate the latest frozen snapshot from the raw JSON namespaces before querying")
+	explain := flag.Bool("explain", false, "print the chosen query plan (scan vs. secondary index) before each result")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
@@ -52,7 +53,7 @@ func main() {
 	}
 	src := &core.QuerySource{Store: st}
 	if stmt := strings.TrimSpace(strings.Join(flag.Args(), " ")); stmt != "" {
-		if err := runOne(src, stmt); err != nil {
+		if err := runOne(src, stmt, *explain); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -72,16 +73,23 @@ func main() {
 		if stmt == "" {
 			continue
 		}
-		if err := runOne(src, stmt); err != nil {
+		if err := runOne(src, stmt, *explain); err != nil {
 			fmt.Println("error:", err)
 		}
 	}
 }
 
-func runOne(src query.Source, stmt string) error {
-	res, err := query.Run(context.Background(), src, stmt)
+func runOne(src query.Source, stmt string, explain bool) error {
+	q, err := query.Parse(stmt)
 	if err != nil {
 		return err
+	}
+	res, plan, err := q.Explain(context.Background(), src)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Println("plan:", plan.Explain())
 	}
 	widths := make([]int, len(res.Columns))
 	cells := make([][]string, 0, len(res.Rows)+1)

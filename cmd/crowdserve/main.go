@@ -41,6 +41,7 @@ func main() {
 	routeTimeout := flag.Duration("route-timeout", serve.DefaultRouteTimeout, "per-request deadline propagated into store reads")
 	refresh := flag.Duration("refresh", 5*time.Second, "poll interval for new frozen snapshots")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+	resultCache := flag.Int("result-cache", serve.DefaultResultCacheSize, "query result cache entries per snapshot (negative disables)")
 	flag.Parse()
 
 	st, err := store.Open(*storeDir)
@@ -48,10 +49,12 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := serve.New(&serve.StoreBackend{Store: st}, serve.Options{
-		MaxConcurrent: *maxConcurrent,
-		QueueDepth:    *queueDepth,
-		RouteTimeout:  *routeTimeout,
-		Clock:         time.Now,
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queueDepth,
+		RouteTimeout:    *routeTimeout,
+		ResultCacheSize: *resultCache,
+		Logf:            log.Printf,
+		Clock:           time.Now,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

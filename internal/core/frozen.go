@@ -86,19 +86,13 @@ func BuildFrozen(ctx context.Context, st *store.Store, snap int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	data, err := EncodeFrozen(&FrozenSnapshot{
+	err = CommitFrozen(ctx, st, &FrozenSnapshot{
 		Snapshot:  snap,
 		Companies: companies,
 		Investors: investors,
 		Graph:     graph.FreezeBipartite(BuildInvestorGraph(investors)),
 	})
 	if err != nil {
-		return 0, err
-	}
-	if err := ctx.Err(); err != nil {
-		return 0, fmt.Errorf("core: freeze snapshot %d: %w", snap, err)
-	}
-	if err := st.PutBlob(FrozenNamespace(snap), snapshot.FormatVersion, data); err != nil {
 		return 0, err
 	}
 	return snap, nil

@@ -4,71 +4,215 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
+	"crowdscope/internal/index"
 	"crowdscope/internal/store"
 )
 
 // QuerySource adapts a store for the query layer (it satisfies
-// query.Source) and projects every frozen snapshot's decoded columns as
-// virtual JSON namespaces, so the interactive query language reaches the
-// frozen artifacts without a JSON rebuild:
+// query.IndexedSource) and projects every frozen snapshot's decoded
+// columns as virtual JSON namespaces, so the interactive query language
+// reaches the frozen artifacts without a JSON rebuild:
 //
 //	frozen/snap-NNNNNN/companies   one record per merged Company
 //	frozen/snap-NNNNNN/investors   one record per merged Investor
 //
 // Any other namespace scans the underlying store unchanged.
+//
+// Decoded snapshots, their marshalled row payloads, and their secondary
+// indexes are cached (the artifacts are immutable, so entries never go
+// stale), bounded to the few most recent snapshots. The zero-value
+// struct literal &QuerySource{Store: st} is ready to use.
 type QuerySource struct {
 	Store *store.Store
+
+	mu      sync.Mutex
+	entries map[int]*frozenEntry
+}
+
+// maxCachedSnapshots bounds the decoded-snapshot cache: the serving
+// layer only ever queries the latest snapshot plus, briefly, the one it
+// is hot-swapping away from.
+const maxCachedSnapshots = 2
+
+// frozenEntry caches one snapshot's query-facing state. The snapshot
+// and its payloads load together; the index loads independently (a
+// COUNT(*) answered from cardinalities never touches the records). An
+// index load error is sticky — the blob is immutable, so retrying
+// cannot help, and the planner's scan fallback must stay cheap.
+type frozenEntry struct {
+	fs     *FrozenSnapshot
+	tables map[string][][]byte // "companies"/"investors" -> per-row JSON payloads
+
+	idx       map[string]*index.TableIndex
+	idxErr    error
+	idxLoaded bool
+}
+
+// parseFrozenNS splits a virtual frozen namespace into its snapshot tag
+// and table name.
+func parseFrozenNS(ns string) (snap int, table string, ok bool) {
+	rest, found := strings.CutPrefix(ns, "frozen/")
+	if !found {
+		return 0, "", false
+	}
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 {
+		return 0, "", false
+	}
+	if _, err := fmt.Sscanf(parts[0], "snap-%d", &snap); err != nil {
+		return 0, "", false
+	}
+	return snap, parts[1], true
+}
+
+// entry returns the cache slot for a snapshot, evicting the oldest
+// cached snapshot when the bound is exceeded. Caller holds q.mu.
+func (q *QuerySource) entry(snap int) *frozenEntry {
+	if q.entries == nil {
+		q.entries = make(map[int]*frozenEntry)
+	}
+	ent, ok := q.entries[snap]
+	if !ok {
+		for len(q.entries) >= maxCachedSnapshots {
+			oldest := -1
+			for s := range q.entries {
+				if oldest < 0 || s < oldest {
+					oldest = s
+				}
+			}
+			delete(q.entries, oldest)
+		}
+		ent = &frozenEntry{}
+		q.entries[snap] = ent
+	}
+	return ent
+}
+
+// frozenFor returns the decoded snapshot and its payload tables,
+// loading and caching them on first use. Load errors are not cached:
+// they are rare and retrying costs one blob read.
+func (q *QuerySource) frozenFor(snap int) (*frozenEntry, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ent := q.entry(snap)
+	if ent.fs != nil {
+		return ent, nil
+	}
+	fs, err := LoadFrozen(q.Store, snap)
+	if err != nil {
+		return nil, err
+	}
+	tables := map[string][][]byte{
+		"companies": make([][]byte, len(fs.Companies)),
+		"investors": make([][]byte, len(fs.Investors)),
+	}
+	for i := range fs.Companies {
+		payload, err := json.Marshal(&fs.Companies[i])
+		if err != nil {
+			return nil, err
+		}
+		tables["companies"][i] = payload
+	}
+	for i := range fs.Investors {
+		payload, err := json.Marshal(&fs.Investors[i])
+		if err != nil {
+			return nil, err
+		}
+		tables["investors"][i] = payload
+	}
+	ent.fs, ent.tables = fs, tables
+	return ent, nil
+}
+
+// TableIndex returns the snapshot table's secondary indexes, (nil, nil)
+// for anything unindexed (non-frozen namespaces, snapshots frozen
+// before indexing existed), and an error when an index blob is present
+// but fails validation — the planner's loud-fallback path.
+func (q *QuerySource) TableIndex(ns string) (*index.TableIndex, error) {
+	snap, table, ok := parseFrozenNS(ns)
+	if !ok {
+		return nil, nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ent := q.entry(snap)
+	if !ent.idxLoaded {
+		ent.idx, ent.idxErr = LoadIndex(q.Store, snap)
+		ent.idxLoaded = true
+	}
+	if ent.idxErr != nil {
+		return nil, ent.idxErr
+	}
+	return ent.idx[table], nil
 }
 
 // ScanContext streams the namespace's records as JSON payloads under the
 // caller's context: cancellation is checked between records, so a route
 // deadline from the serving layer stops a scan mid-stream.
 func (q *QuerySource) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
-	if rest, ok := strings.CutPrefix(ns, "frozen/"); ok {
-		parts := strings.SplitN(rest, "/", 2)
-		var snap int
-		if len(parts) == 2 {
-			if _, err := fmt.Sscanf(parts[0], "snap-%d", &snap); err == nil {
-				return q.scanFrozen(ctx, snap, parts[1], fn)
-			}
+	if strings.HasPrefix(ns, "frozen/") {
+		snap, table, ok := parseFrozenNS(ns)
+		if !ok {
+			return fmt.Errorf("core: malformed frozen namespace %q (want frozen/snap-N/{companies,investors})", ns)
 		}
-		return fmt.Errorf("core: malformed frozen namespace %q (want frozen/snap-N/{companies,investors})", ns)
+		return q.scanFrozen(ctx, snap, table, nil, fn)
 	}
 	return q.Store.ScanContext(ctx, ns, fn)
 }
 
-func (q *QuerySource) scanFrozen(ctx context.Context, snap int, table string, fn func(payload []byte) error) error {
-	fs, err := LoadFrozenContext(ctx, q.Store, snap)
+// ScanRows streams exactly the given rows of a frozen table, ascending,
+// reusing the payload bytes ScanContext would emit — the contract that
+// keeps the index route byte-identical to the scan route.
+func (q *QuerySource) ScanRows(ctx context.Context, ns string, rows []int32, fn func(payload []byte) error) error {
+	snap, table, ok := parseFrozenNS(ns)
+	if !ok {
+		return fmt.Errorf("core: namespace %q has no row-addressed table", ns)
+	}
+	return q.scanFrozen(ctx, snap, table, rows, fn)
+}
+
+// scanFrozen emits a frozen table's payloads — all of them when rows is
+// nil, else the selected ascending row ids.
+func (q *QuerySource) scanFrozen(ctx context.Context, snap int, table string, rows []int32, fn func(payload []byte) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: scan frozen snapshot %d: %w", snap, err)
+	}
+	ent, err := q.frozenFor(snap)
 	if err != nil {
 		return err
 	}
-	emit := func(v any) error {
+	payloads, ok := ent.tables[table]
+	if !ok {
+		return fmt.Errorf("core: unknown frozen table %q (want companies or investors)", table)
+	}
+	emit := func(payload []byte) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: scan frozen snapshot %d: %w", snap, err)
 		}
-		payload, err := json.Marshal(v)
-		if err != nil {
-			return err
-		}
 		return fn(payload)
 	}
-	switch table {
-	case "companies":
-		for i := range fs.Companies {
-			if err := emit(&fs.Companies[i]); err != nil {
+	if rows == nil {
+		for _, payload := range payloads {
+			if err := emit(payload); err != nil {
 				return err
 			}
 		}
-	case "investors":
-		for i := range fs.Investors {
-			if err := emit(&fs.Investors[i]); err != nil {
-				return err
-			}
+		return nil
+	}
+	if !sort.SliceIsSorted(rows, func(a, b int) bool { return rows[a] < rows[b] }) {
+		return fmt.Errorf("core: scan frozen snapshot %d: rows not ascending", snap)
+	}
+	for _, r := range rows {
+		if int(r) < 0 || int(r) >= len(payloads) {
+			return fmt.Errorf("core: scan frozen snapshot %d: row %d out of %d", snap, r, len(payloads))
 		}
-	default:
-		return fmt.Errorf("core: unknown frozen table %q (want companies or investors)", table)
+		if err := emit(payloads[r]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

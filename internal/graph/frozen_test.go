@@ -59,8 +59,8 @@ func TestFrozenKernelsBitIdentical(t *testing.T) {
 	g := randomDirected(80, 0.08, 11)
 	f := Freeze(g)
 	pairs := []struct {
-		name     string
-		from     func(View) []float64
+		name string
+		from func(View) []float64
 	}{
 		{"degree", func(v View) []float64 { return DegreeCentrality(v) }},
 		{"closeness", func(v View) []float64 { return ClosenessCentralityWorkers(v, 3) }},

@@ -1,0 +1,23 @@
+// Package index builds, persists and probes secondary indexes over the
+// frozen columnar snapshots, the structures that turn the interactive
+// query path from scan-everything into probe-then-materialize:
+//
+//   - attribute inverted indexes: for each boolean attribute, the sorted
+//     postings list of row ids where it is true;
+//   - orderings: for each integer column, the permutation of row ids
+//     sorted by value (ties by row id) alongside the sorted values,
+//     powering range predicates by binary search and top-k traversal
+//     without a full sort.
+//
+// Indexes are encoded as named CSFROZ01 sections (the same CRC-checked
+// container the frozen snapshots use) and committed as one blob per
+// snapshot in the store's blob namespace, built at freeze time by
+// core.BuildFrozen. Decoding validates every structural invariant —
+// postings strictly increasing and in range, permutations complete,
+// values sorted — so a flipped byte fails loudly instead of silently
+// corrupting query results; the planner then falls back to a scan.
+//
+// Column keys are canonical query expressions ("Raising", "Likes",
+// "LEN(Investments)"), which is what lets the planner match WHERE
+// conjuncts against index entries by string comparison alone.
+package index

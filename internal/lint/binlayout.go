@@ -9,10 +9,12 @@ import (
 )
 
 // binlayoutPackages own wire formats: the CSFROZ01 columnar container
-// (internal/snapshot) and the append-only segment files (internal/store).
+// (internal/snapshot), the append-only segment files (internal/store)
+// and the persisted secondary indexes (internal/index).
 var binlayoutPackages = map[string]bool{
 	"internal/snapshot": true,
 	"internal/store":    true,
+	"internal/index":    true,
 }
 
 // FormatDocFile is where every exported wire constant must be documented.

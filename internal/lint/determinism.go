@@ -24,6 +24,7 @@ var deterministicPackages = map[string]bool{
 	"internal/dynamics":  true,
 	"internal/predict":   true,
 	"internal/serve":     true,
+	"internal/index":     true,
 }
 
 // allowedRandFuncs are math/rand package-level constructors that build

@@ -390,5 +390,6 @@ func All() []*Analyzer {
 		AnalyzerCtxThread,
 		AnalyzerErrWrap,
 		AnalyzerBinLayout,
+		AnalyzerPlanFirst,
 	}
 }

@@ -1,0 +1,88 @@
+package lint
+
+import "testing"
+
+const planfirstFixtureSource = `package query
+
+import "context"
+
+type Source interface {
+	ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error
+	ScanRows(ctx context.Context, ns string, rows []int32, fn func(payload []byte) error) error
+}
+`
+
+func TestPlanFirstFlagsRecordReadsOutsideMaterializers(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/query/q.go": planfirstFixtureSource + `
+func sneakyCount(ctx context.Context, src Source, ns string) (int, error) {
+	n := 0
+	err := src.ScanContext(ctx, ns, func([]byte) error { n++; return nil })
+	return n, err
+}
+
+func sneakyRows(ctx context.Context, src Source, ns string) error {
+	return src.ScanRows(ctx, ns, nil, func([]byte) error { return nil })
+}
+`,
+	})
+	got := findings(t, m, AnalyzerPlanFirst)
+	wantFindings(t, got,
+		"internal/query/q.go:12:[planfirst]",
+		"internal/query/q.go:17:[planfirst]")
+}
+
+func TestPlanFirstAllowsTheMaterializationSites(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/query/q.go": planfirstFixtureSource + `
+func runScan(ctx context.Context, src Source, ns string) error {
+	return src.ScanContext(ctx, ns, func([]byte) error { return nil })
+}
+
+func materializeRows(ctx context.Context, src Source, ns string, rows []int32) error {
+	return src.ScanRows(ctx, ns, rows, func([]byte) error { return nil })
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerPlanFirst))
+}
+
+func TestPlanFirstIgnoresOtherPackagesAndUnrelatedNames(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		// Outside the query packages the discipline does not apply.
+		"internal/core/c.go": `package core
+
+import "context"
+
+type scanner interface {
+	ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error
+}
+
+func drain(ctx context.Context, s scanner) error {
+	return s.ScanContext(ctx, "x", func([]byte) error { return nil })
+}
+`,
+		// A package-level function that merely shares the name is fine.
+		"internal/query/q.go": `package query
+
+import "context"
+
+func helper(ctx context.Context) error { return ScanContext(ctx) }
+
+func ScanContext(ctx context.Context) error { return nil }
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerPlanFirst))
+}
+
+func TestPlanFirstSuppressionWithReason(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/query/q.go": planfirstFixtureSource + `
+func probe(ctx context.Context, src Source) error {
+	//lint:ignore planfirst namespace existence probe; reads no record payloads
+	return src.ScanContext(ctx, "x", func([]byte) error { return nil })
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerPlanFirst))
+}

@@ -52,12 +52,55 @@ func (q *Query) Execute(ctx context.Context, src Source) (*Result, error) {
 	return q.ExecuteWith(ctx, src, dataflow.NewExecutor(0))
 }
 
-// ExecuteWith runs the parsed query: records stream out of the source
-// under the caller's context, the WHERE filter and grouping run on the
-// dataflow engine under the given executor, and ORDER BY / LIMIT shape
-// the final table.
+// Explain is Execute returning the executed plan alongside the result.
+func (q *Query) Explain(ctx context.Context, src Source) (*Result, *Plan, error) {
+	return q.ExplainWith(ctx, src, dataflow.NewExecutor(0))
+}
+
+// ExecuteWith runs the parsed query: the planner picks a route (index
+// probes when the source carries usable secondary indexes, a full scan
+// otherwise), records stream out of the source under the caller's
+// context, the WHERE filter and grouping run on the dataflow engine
+// under the given executor, and ORDER BY / LIMIT shape the final table.
 func (q *Query) ExecuteWith(ctx context.Context, src Source, ex *dataflow.Executor) (*Result, error) {
-	// Load the namespace into generic JSON records.
+	res, _, err := q.ExplainWith(ctx, src, ex)
+	return res, err
+}
+
+// ExplainWith is ExecuteWith returning the executed plan alongside the
+// result, for -explain output and the serving layer's route tallies.
+func (q *Query) ExplainWith(ctx context.Context, src Source, ex *dataflow.Executor) (*Result, *Plan, error) {
+	p := q.planFor(src)
+	var res *Result
+	var err error
+	switch p.plan.Route {
+	case RouteIndexCount:
+		res = &Result{
+			Columns: []string{q.items[0].name},
+			Rows:    [][]any{{float64(p.matchCount())}},
+		}
+		if q.limit >= 0 && len(res.Rows) > q.limit {
+			res.Rows = res.Rows[:q.limit]
+		}
+	case RouteIndex, RouteIndexTopK:
+		var records []map[string]any
+		records, err = q.materializeRows(ctx, src.(IndexedSource), p.matchedRows())
+		if err == nil {
+			res, err = q.finish(records, p.residual, ex)
+		}
+	default:
+		var records []map[string]any
+		records, err = q.runScan(ctx, src)
+		if err == nil {
+			res, err = q.finish(records, q.where, ex)
+		}
+	}
+	return res, p.plan, err
+}
+
+// runScan loads the whole namespace into generic JSON records — the
+// only place the query layer streams unfiltered records.
+func (q *Query) runScan(ctx context.Context, src Source) ([]map[string]any, error) {
 	var records []map[string]any
 	err := src.ScanContext(ctx, q.namespace, func(payload []byte) error {
 		var rec map[string]any
@@ -70,15 +113,42 @@ func (q *Query) ExecuteWith(ctx context.Context, src Source, ex *dataflow.Execut
 	if err != nil {
 		return nil, err
 	}
+	return records, nil
+}
+
+// materializeRows loads exactly the planner-selected rows, in ascending
+// row order so downstream stages see the same record sequence a scan
+// would have produced for those rows.
+func (q *Query) materializeRows(ctx context.Context, src IndexedSource, rows []int32) ([]map[string]any, error) {
+	records := make([]map[string]any, 0, len(rows))
+	err := src.ScanRows(ctx, q.namespace, rows, func(payload []byte) error {
+		var rec map[string]any
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("query: bad record in %s: %w", q.namespace, err)
+		}
+		records = append(records, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// finish is the shared tail of every route: filter on the dataflow
+// engine, aggregate or project, then order and truncate. Index and scan
+// routes feed it the same record sequence (modulo rows already proven
+// non-matching), which is what keeps their results byte-identical.
+func (q *Query) finish(records []map[string]any, where expr, ex *dataflow.Executor) (*Result, error) {
 	parts := len(records)/4096 + 1
 	if parts > 32 {
 		parts = 32
 	}
 	ds := dataflow.FromSlice(records, parts)
-	if q.where != nil {
-		where := q.where
+	if where != nil {
+		pred := where
 		ds = dataflow.Filter(ds, func(rec map[string]any) bool {
-			return truthy(eval(where, rec))
+			return truthy(eval(pred, rec))
 		})
 	}
 

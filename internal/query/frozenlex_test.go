@@ -78,9 +78,9 @@ func TestFrozenNamespaceSubtractionEndToEnd(t *testing.T) {
 
 func TestParseRejectsMissingNamespace(t *testing.T) {
 	for _, src := range []string{
-		"SELECT COUNT(*) AS n FROM",        // FROM with nothing after it
-		"SELECT COUNT(*) AS n",             // no FROM clause at all
-		"SELECT COUNT(*) AS n FROM 42",     // a number is not a namespace
+		"SELECT COUNT(*) AS n FROM",         // FROM with nothing after it
+		"SELECT COUNT(*) AS n",              // no FROM clause at all
+		"SELECT COUNT(*) AS n FROM 42",      // a number is not a namespace
 		"SELECT COUNT(*) AS n FROM 'users'", // neither is a string literal
 	} {
 		if _, err := Parse(src); err == nil {

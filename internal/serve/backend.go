@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"crowdscope/internal/core"
+	"crowdscope/internal/index"
 	"crowdscope/internal/store"
 )
 
@@ -22,12 +23,28 @@ type Backend interface {
 	// ScanContext streams a namespace's records as JSON payloads under
 	// the caller's context (the query.Source contract).
 	ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error
+	// TableIndex returns a namespace's secondary indexes, (nil, nil)
+	// when it has none (the query planner then scans).
+	TableIndex(ns string) (*index.TableIndex, error)
+	// ScanRows streams the selected rows of an indexed namespace (the
+	// query.IndexedSource contract).
+	ScanRows(ctx context.Context, ns string, rows []int32, fn func(payload []byte) error) error
 }
 
 // StoreBackend serves directly from a crawled store, projecting frozen
-// snapshots through core.QuerySource's virtual namespaces.
+// snapshots through core.QuerySource's virtual namespaces. The source
+// is built once and reused, so its snapshot/payload/index caches
+// actually carry across requests.
 type StoreBackend struct {
 	Store *store.Store
+
+	once sync.Once
+	src  *core.QuerySource
+}
+
+func (b *StoreBackend) source() *core.QuerySource {
+	b.once.Do(func() { b.src = &core.QuerySource{Store: b.Store} })
+	return b.src
 }
 
 // LatestFrozen implements Backend.
@@ -45,8 +62,17 @@ func (b *StoreBackend) LoadFrozen(ctx context.Context, snap int) (*core.FrozenSn
 
 // ScanContext implements Backend (and query.Source).
 func (b *StoreBackend) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
-	src := &core.QuerySource{Store: b.Store}
-	return src.ScanContext(ctx, ns, fn)
+	return b.source().ScanContext(ctx, ns, fn)
+}
+
+// TableIndex implements Backend.
+func (b *StoreBackend) TableIndex(ns string) (*index.TableIndex, error) {
+	return b.source().TableIndex(ns)
+}
+
+// ScanRows implements Backend.
+func (b *StoreBackend) ScanRows(ctx context.Context, ns string, rows []int32, fn func(payload []byte) error) error {
+	return b.source().ScanRows(ctx, ns, rows, fn)
 }
 
 // snapCache holds the last-good frozen snapshot behind a pointer swap.

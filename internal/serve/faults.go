@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"crowdscope/internal/core"
+	"crowdscope/internal/index"
 )
 
 // ErrInjected marks a deterministic backend fault from FaultyBackend.
@@ -111,6 +112,24 @@ func (f *FaultyBackend) ScanContext(ctx context.Context, ns string, fn func(payl
 		return fmt.Errorf("%w: Scan(%q)", ErrInjected, ns)
 	}
 	return f.Inner.ScanContext(ctx, ns, fn)
+}
+
+// TableIndex implements Backend. Faults here are absorbed by the query
+// planner as scan fallbacks, never surfaced to clients — which is
+// itself part of the resilience contract the chaos suite exercises.
+func (f *FaultyBackend) TableIndex(ns string) (*index.TableIndex, error) {
+	if f.decide("TableIndex") {
+		return nil, fmt.Errorf("%w: TableIndex(%q)", ErrInjected, ns)
+	}
+	return f.Inner.TableIndex(ns)
+}
+
+// ScanRows implements Backend.
+func (f *FaultyBackend) ScanRows(ctx context.Context, ns string, rows []int32, fn func(payload []byte) error) error {
+	if f.decide("ScanRows") {
+		return fmt.Errorf("%w: ScanRows(%q)", ErrInjected, ns)
+	}
+	return f.Inner.ScanRows(ctx, ns, rows, fn)
 }
 
 // splitmix64 is the SplitMix64 output function (the same mixer the

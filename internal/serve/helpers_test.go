@@ -12,6 +12,7 @@ import (
 
 	"crowdscope/internal/core"
 	"crowdscope/internal/graph"
+	"crowdscope/internal/index"
 	"crowdscope/internal/snapshot"
 	"crowdscope/internal/store"
 )
@@ -39,16 +40,15 @@ func (c *fakeClock) Advance(d time.Duration) {
 	c.t = c.t.Add(d)
 }
 
-// putFrozen commits a small deterministic frozen snapshot artifact for
-// the given tag, shaped like BuildFrozen's output but built directly so
+// testSnapshot builds the small deterministic frozen snapshot the serve
+// tests share, shaped like BuildFrozen's output but built directly so
 // tests do not need a full crawl pipeline.
-func putFrozen(t testing.TB, st *store.Store, snap int) {
-	t.Helper()
+func testSnapshot(snap int) *core.FrozenSnapshot {
 	investors := []core.Investor{
 		{ID: "inv-a", Investments: []string{"co-1", "co-2"}, Follows: 4 + snap},
 		{ID: "inv-b", Investments: []string{"co-1"}, Follows: 1},
 	}
-	fs := &core.FrozenSnapshot{
+	return &core.FrozenSnapshot{
 		Snapshot: snap,
 		Companies: []core.Company{
 			{ID: "co-1", Name: "Acme", Raising: true, HasTwitter: true, Likes: 10 + snap},
@@ -57,11 +57,29 @@ func putFrozen(t testing.TB, st *store.Store, snap int) {
 		Investors: investors,
 		Graph:     graph.FreezeBipartite(core.BuildInvestorGraph(investors)),
 	}
+}
+
+// putFrozen commits the frozen snapshot artifact only — deliberately no
+// secondary-index blob, matching snapshots frozen before indexing
+// existed (and keeping the chaos traces' store layout unchanged).
+func putFrozen(t testing.TB, st *store.Store, snap int) {
+	t.Helper()
+	fs := testSnapshot(snap)
 	data, err := core.EncodeFrozen(fs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := st.PutBlob(core.FrozenNamespace(snap), snapshot.FormatVersion, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// putIndexedFrozen commits the same snapshot through core.CommitFrozen,
+// so the secondary-index blob rides along and query routes can exercise
+// the planner's index paths.
+func putIndexedFrozen(t testing.TB, st *store.Store, snap int) {
+	t.Helper()
+	if err := core.CommitFrozen(context.Background(), st, testSnapshot(snap)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -144,5 +162,11 @@ func (s *stubBackend) LoadFrozen(ctx context.Context, snap int) (*core.FrozenSna
 }
 
 func (s *stubBackend) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
+	return s.scanErr
+}
+
+func (s *stubBackend) TableIndex(ns string) (*index.TableIndex, error) { return nil, nil }
+
+func (s *stubBackend) ScanRows(ctx context.Context, ns string, rows []int32, fn func(payload []byte) error) error {
 	return s.scanErr
 }

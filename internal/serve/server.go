@@ -13,6 +13,7 @@ import (
 
 	"crowdscope/internal/apiserver"
 	"crowdscope/internal/core"
+	"crowdscope/internal/index"
 	"crowdscope/internal/query"
 )
 
@@ -44,6 +45,13 @@ type Options struct {
 	// Breaker tunes the circuit breaker around backend reads; its Clock
 	// defaults to Options.Clock.
 	Breaker BreakerConfig
+	// ResultCacheSize bounds the query result cache (entries per
+	// snapshot generation); default DefaultResultCacheSize, negative
+	// disables caching.
+	ResultCacheSize int
+	// Logf, when set, receives operational log lines — notably the
+	// planner's scan-fallback reasons. Nil silences them.
+	Logf func(format string, args ...any)
 	// Clock supplies all serving-layer time.
 	Clock apiserver.Clock
 }
@@ -63,6 +71,9 @@ func (o *Options) fill() {
 	}
 	if o.RetryAfterSecs <= 0 {
 		o.RetryAfterSecs = DefaultRetryAfterSecs
+	}
+	if o.ResultCacheSize == 0 {
+		o.ResultCacheSize = DefaultResultCacheSize
 	}
 	if o.Breaker.Clock == nil {
 		o.Breaker.Clock = o.Clock
@@ -98,6 +109,13 @@ type Server struct {
 	shed     atomic.Int64
 	served   atomic.Int64
 	degraded atomic.Int64
+
+	results *resultCache
+	stmts   *stmtCache
+
+	planMu       sync.Mutex
+	planRoutes   map[string]int64 // executed-plan tallies since last hot-swap
+	lastFallback string           // most recent planner scan-fallback reason
 }
 
 // New builds a server over the backend. Call Refresh to load the first
@@ -105,10 +123,13 @@ type Server struct {
 func New(backend Backend, opts Options) *Server {
 	opts.fill()
 	s := &Server{
-		backend: backend,
-		opts:    opts,
-		gate:    newGate(opts.MaxConcurrent, opts.QueueDepth),
-		breaker: NewBreaker(opts.Breaker),
+		backend:    backend,
+		opts:       opts,
+		gate:       newGate(opts.MaxConcurrent, opts.QueueDepth),
+		breaker:    NewBreaker(opts.Breaker),
+		results:    newResultCache(opts.ResultCacheSize),
+		stmts:      newStmtCache(),
+		planRoutes: map[string]int64{},
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -192,7 +213,34 @@ func (s *Server) Refresh(ctx context.Context) error {
 		return fmt.Errorf("serve: refresh: %w", err)
 	}
 	s.cache.swap(fs)
+	s.hotSwapReset(fs.Snapshot)
 	return nil
+}
+
+// hotSwapReset drops per-snapshot derived state after a snapshot swap:
+// cached query results (computed against the old snapshot) and the
+// plan-choice tallies (which describe the old generation's traffic).
+func (s *Server) hotSwapReset(snap int) {
+	s.results.invalidate(snap)
+	s.planMu.Lock()
+	s.planRoutes = map[string]int64{}
+	s.lastFallback = ""
+	s.planMu.Unlock()
+}
+
+// tallyPlan records one executed query plan for /statusz, logging scan
+// fallbacks that carry a reason (an unindexed namespace is routine; a
+// corrupt index blob very much is not).
+func (s *Server) tallyPlan(p *query.Plan) {
+	s.planMu.Lock()
+	s.planRoutes[p.Route]++
+	if p.Fallback != "" {
+		s.lastFallback = p.Fallback
+	}
+	s.planMu.Unlock()
+	if p.Fallback != "" && s.opts.Logf != nil {
+		s.opts.Logf("serve: query plan fell back to scan: %s", p.Explain())
+	}
 }
 
 // ensureFresh opportunistically refreshes the cache before serving a
@@ -267,18 +315,27 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// Status is the /statusz observability snapshot.
+// Status is the /statusz observability snapshot. Cache hit/miss
+// counters and plan tallies reset on every snapshot hot-swap — they
+// describe the current generation's traffic; the invalidation counter
+// is cumulative and counts the swaps themselves.
 type Status struct {
-	InFlight     int    `json:"in_flight"`
-	Queued       int    `json:"queued"`
-	Shed         int64  `json:"shed"`
-	Served       int64  `json:"served"`
-	Degraded     int64  `json:"degraded"`
-	BreakerState string `json:"breaker_state"`
-	BreakerTrips int64  `json:"breaker_trips"`
-	Snapshot     int    `json:"snapshot"`
-	Stale        bool   `json:"stale"`
-	Draining     bool   `json:"draining"`
+	InFlight           int              `json:"in_flight"`
+	Queued             int              `json:"queued"`
+	Shed               int64            `json:"shed"`
+	Served             int64            `json:"served"`
+	Degraded           int64            `json:"degraded"`
+	BreakerState       string           `json:"breaker_state"`
+	BreakerTrips       int64            `json:"breaker_trips"`
+	Snapshot           int              `json:"snapshot"`
+	Stale              bool             `json:"stale"`
+	Draining           bool             `json:"draining"`
+	CacheHits          int64            `json:"result_cache_hits"`
+	CacheMisses        int64            `json:"result_cache_misses"`
+	CacheInvalidations int64            `json:"result_cache_invalidations"`
+	CacheEntries       int              `json:"result_cache_entries"`
+	PlanRoutes         map[string]int64 `json:"plan_routes,omitempty"`
+	LastPlanFallback   string           `json:"last_plan_fallback,omitempty"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -297,11 +354,24 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		st.Snapshot = fs.Snapshot
 		st.Stale = stale
 	}
+	st.CacheHits, st.CacheMisses, st.CacheInvalidations, st.CacheEntries = s.results.stats()
+	s.planMu.Lock()
+	if len(s.planRoutes) > 0 {
+		st.PlanRoutes = make(map[string]int64, len(s.planRoutes))
+		for k, v := range s.planRoutes {
+			st.PlanRoutes[k] = v
+		}
+	}
+	st.LastPlanFallback = s.lastFallback
+	s.planMu.Unlock()
 	writeJSON(w, http.StatusOK, st)
 }
 
-// breakerSource routes query scans through the circuit breaker so a
-// misbehaving store trips it and subsequent queries fail fast.
+// breakerSource routes query record streams through the circuit
+// breaker so a misbehaving store trips it and subsequent queries fail
+// fast. Index probes deliberately bypass the breaker: TableIndex is a
+// cached metadata lookup, and its failure already degrades gracefully
+// to a scan inside the planner.
 type breakerSource struct{ s *Server }
 
 func (bs breakerSource) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
@@ -310,23 +380,67 @@ func (bs breakerSource) ScanContext(ctx context.Context, ns string, fn func(payl
 	})
 }
 
-var _ query.Source = breakerSource{}
+func (bs breakerSource) TableIndex(ns string) (*index.TableIndex, error) {
+	return bs.s.backend.TableIndex(ns)
+}
+
+func (bs breakerSource) ScanRows(ctx context.Context, ns string, rows []int32, fn func(payload []byte) error) error {
+	return bs.s.breaker.Do(ctx, func(ctx context.Context) error {
+		return bs.s.backend.ScanRows(ctx, ns, rows, fn)
+	})
+}
+
+var _ query.IndexedSource = breakerSource{}
+
+// writeJSONBody replays an already-marshalled JSON response body.
+func writeJSONBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//lint:ignore errwrap the status line is already on the wire; a write failure here has no channel back to the client
+	_, _ = w.Write(body)
+}
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	stmt := r.URL.Query().Get("q")
-	if stmt == "" {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing q parameter"})
+	// Parsing is memoized on the raw query string: repeated statements
+	// (the result cache's whole clientele) skip URL decoding, parsing
+	// and canonicalization outright.
+	ent := s.stmts.get(r.URL.RawQuery)
+	if ent == nil {
+		stmt := r.URL.Query().Get("q")
+		if stmt == "" {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "missing q parameter"})
+			return
+		}
+		q, err := query.Parse(stmt)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+		ent = &stmtEntry{q: q, key: q.Canonical()}
+		s.stmts.put(r.URL.RawQuery, ent)
+	}
+	key := ent.key
+	if body, ok := s.results.get(key); ok {
+		writeJSONBody(w, http.StatusOK, body)
 		return
 	}
-	q, err := query.Parse(stmt)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
-		return
+	res, plan, err := ent.q.Explain(r.Context(), breakerSource{s})
+	if plan != nil {
+		s.tallyPlan(plan)
 	}
-	res, err := q.Execute(r.Context(), breakerSource{s})
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, res)
+		// Marshal once: the same bytes go on the wire now and into the
+		// cache, so a hit replays a byte-identical response (writeJSON's
+		// encoder emits marshal output plus a trailing newline).
+		body, merr := json.Marshal(res)
+		if merr != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: merr.Error()})
+			return
+		}
+		body = append(body, '\n')
+		s.results.put(key, body)
+		writeJSONBody(w, http.StatusOK, body)
 	case errors.Is(err, ErrBreakerOpen):
 		w.Header().Set("Retry-After", strconv.Itoa(s.breaker.RetryAfter()))
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "store circuit breaker open; retry later"})

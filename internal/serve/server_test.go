@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"crowdscope/internal/core"
+	"crowdscope/internal/index"
 	"crowdscope/internal/query"
 )
 
@@ -192,6 +193,12 @@ func (b *blockingBackend) ScanContext(ctx context.Context, ns string, fn func(pa
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+func (b *blockingBackend) TableIndex(ns string) (*index.TableIndex, error) { return nil, nil }
+
+func (b *blockingBackend) ScanRows(ctx context.Context, ns string, rows []int32, fn func(payload []byte) error) error {
+	return b.ScanContext(ctx, ns, fn)
 }
 
 func TestServerShedsWithRetryAfter(t *testing.T) {

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"sync"
+
+	"crowdscope/internal/query"
+)
+
+// maxStmtCacheEntries bounds the parsed-statement cache. When full it
+// resets wholesale: entries cost one parse each to rebuild, and a full
+// reset avoids tracking recency on the read-heavy hot path.
+const maxStmtCacheEntries = 1024
+
+// stmtCache memoizes statement parsing and canonicalization, keyed by
+// the request's raw URL query string so a hit skips URL decoding too.
+// Parsing is pure — a parsed Query is never mutated by execution — so
+// entries never invalidate, not even across snapshot hot-swaps.
+type stmtCache struct {
+	mu      sync.RWMutex
+	entries map[string]*stmtEntry
+}
+
+// stmtEntry is one parsed statement plus its canonical form (the
+// result-cache key, computed once).
+type stmtEntry struct {
+	q   *query.Query
+	key string
+}
+
+func newStmtCache() *stmtCache {
+	return &stmtCache{entries: map[string]*stmtEntry{}}
+}
+
+func (c *stmtCache) get(raw string) *stmtEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[raw]
+}
+
+func (c *stmtCache) put(raw string, e *stmtEntry) {
+	c.mu.Lock()
+	if len(c.entries) >= maxStmtCacheEntries {
+		c.entries = map[string]*stmtEntry{}
+	}
+	c.entries[raw] = e
+	c.mu.Unlock()
+}

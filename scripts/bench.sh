@@ -4,6 +4,9 @@
 #     raw-JSON rebuild) with the measured speedup.
 #   - BENCH_PR5.json: serving-layer throughput (snapshot + query routes)
 #     and the p99 latency of shedding a request when overloaded.
+#   - BENCH_PR6.json: query-route p50/p99 for the scan path vs. the
+#     secondary-index path vs. a result-cache hit, with the cache hit
+#     ratio and the computed p99 speedups.
 #
 # Usage: scripts/bench.sh [count]   (default 3 benchmark iterations)
 set -euo pipefail
@@ -79,3 +82,56 @@ awk '
 
 cat "$OUT5"
 echo "wrote $OUT5"
+
+# ---- PR 6: query planner / secondary index / result cache ----
+OUT6=BENCH_PR6.json
+RAW6=$(mktemp)
+trap 'rm -f "$RAW" "$RAW5" "$RAW6"' EXIT
+
+go test -run '^$' -bench '^BenchmarkQueryRoute' -benchtime 2s ./internal/serve | tee "$RAW6"
+
+awk '
+  function metric(name,   i) {
+    for (i = 1; i <= NF; i++) if ($i == name) return $(i - 1)
+    return ""
+  }
+  /^BenchmarkQueryRouteScan/ {
+    scan_ns = $3; scan_p50 = metric("p50-ns"); scan_p99 = metric("p99-ns")
+  }
+  /^BenchmarkQueryRouteIndex/ {
+    idx_ns = $3; idx_p50 = metric("p50-ns"); idx_p99 = metric("p99-ns")
+  }
+  /^BenchmarkQueryRouteCacheHit/ {
+    hit_ns = $3; hit_p50 = metric("p50-ns"); hit_p99 = metric("p99-ns")
+    hit_ratio = metric("hit-ratio")
+  }
+  END {
+    if (scan_p99 == "" || idx_p99 == "" || hit_p99 == "" || hit_ratio == "") {
+      print "bench: missing query-route benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    pr5 = 41671  # BENCH_PR5 query_ns_per_op: the pre-planner query route
+    printf "{\n"
+    printf "  \"benchmark\": \"QueryRoutes\",\n"
+    printf "  \"table_rows\": 4096,\n"
+    printf "  \"scan_ns_per_op\": %s,\n", scan_ns
+    printf "  \"scan_p50_ns\": %s,\n", scan_p50
+    printf "  \"scan_p99_ns\": %s,\n", scan_p99
+    printf "  \"index_ns_per_op\": %s,\n", idx_ns
+    printf "  \"index_p50_ns\": %s,\n", idx_p50
+    printf "  \"index_p99_ns\": %s,\n", idx_p99
+    printf "  \"cache_hit_ns_per_op\": %s,\n", hit_ns
+    printf "  \"cache_hit_p50_ns\": %s,\n", hit_p50
+    printf "  \"cache_hit_p99_ns\": %s,\n", hit_p99
+    printf "  \"cache_hit_ratio\": %s,\n", hit_ratio
+    printf "  \"index_vs_scan_p99_speedup\": %.1f,\n", scan_p99 / idx_p99
+    printf "  \"cache_hit_vs_scan_p99_speedup\": %.1f,\n", scan_p99 / hit_p99
+    printf "  \"pr5_query_ns_per_op\": %d,\n", pr5
+    printf "  \"index_vs_pr5_speedup\": %.1f,\n", pr5 / idx_ns
+    printf "  \"cache_hit_vs_pr5_speedup\": %.1f\n", pr5 / hit_ns
+    printf "}\n"
+  }
+' "$RAW6" > "$OUT6"
+
+cat "$OUT6"
+echo "wrote $OUT6"

@@ -32,6 +32,12 @@ go test -race -run 'Frozen' ./internal/graph ./internal/core .
 # gate/breaker/cache hot paths.
 go test -race -run 'Chaos' ./internal/serve
 
+# Index/scan equivalence under the race detector: the query planner's
+# index routes must stay byte-identical to the scan route on random
+# worlds, and corrupted index blobs must fail loudly into a scan
+# fallback — with no races in the lazy index-load/result-cache paths.
+go test -race -run 'TestIndexRouteMatchesScanRouteProperty|TestCorruptIndexBlobFailsLoudly|TestIndexedRouteBodiesMatchScanRoute' ./internal/core ./internal/serve
+
 # Per-package coverage floors (percent).
 check_coverage() {
   local pkg="$1" floor="$2" out pct
@@ -63,3 +69,7 @@ check_coverage ./internal/lint 70
 # are exactly the code that only misbehaves under production stress, so
 # the chaos/unit suites must keep exercising them.
 check_coverage ./internal/serve 70
+# The secondary-index layer backs the planner's correctness guarantee:
+# postings, orderings and the persisted codec must stay exhaustively
+# tested or silent wrong answers become possible.
+check_coverage ./internal/index 70
