@@ -643,6 +643,126 @@ func plantedBenchGraph(k, m, c int, dense, noise float64, seed int64) (*graph.Bi
 	return b, truth
 }
 
+// ---- PR7: delta snapshots ----
+
+var (
+	deltaBenchOnce sync.Once
+	deltaBenchPipe *Pipeline
+	deltaBenchErr  error
+)
+
+// deltaFixture builds a dedicated two-round pipeline (the shared fixture
+// must stay at round 0 for the other benchmarks), leaving frozen/snap-0,
+// frozen/delta-000001 and frozen/snap-1 in its store.
+func deltaFixture(b *testing.B) *Pipeline {
+	b.Helper()
+	deltaBenchOnce.Do(func() {
+		p, err := NewPipeline(PipelineConfig{Seed: 42, Scale: benchScale()})
+		if err != nil {
+			deltaBenchErr = err
+			return
+		}
+		if _, err := p.Crawl(context.Background(), 0); err != nil {
+			deltaBenchErr = err
+			return
+		}
+		p.AdvanceDays(30)
+		if _, err := p.Crawl(context.Background(), 1); err != nil {
+			deltaBenchErr = err
+			return
+		}
+		deltaBenchPipe = p
+	})
+	if deltaBenchErr != nil {
+		b.Fatal(deltaBenchErr)
+	}
+	return deltaBenchPipe
+}
+
+// BenchmarkDeltaCommit compares the two ways a crawl round can produce
+// its frozen artifact: the full refreeze (re-read every JSON record,
+// merge joins, graph rebuild, encode) against the incremental delta
+// apply (merge the delta onto the in-memory previous snapshot, rebuild
+// the CSR, encode). Both paths produce bit-identical bytes (see the
+// delta==refreeze equivalence suite), so the x_speedup metric on the
+// speedup sub-benchmark is a pure-performance ratio. Store writes are
+// excluded from both sides — they are identical.
+func BenchmarkDeltaCommit(b *testing.B) {
+	p := deltaFixture(b)
+	prev, err := core.LoadFrozen(p.Store, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd, err := core.LoadDelta(p.Store, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	encode := func(fs *core.FrozenSnapshot) {
+		if _, err := core.EncodeFrozen(fs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.EncodeIndexes(fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fullRefreeze := func() *core.FrozenSnapshot {
+		companies, err := core.LoadCompanies(p.Store, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		investors, err := core.LoadInvestors(p.Store, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs := &core.FrozenSnapshot{
+			Snapshot:  1,
+			Companies: companies,
+			Investors: investors,
+			Graph:     graph.FreezeBipartite(core.BuildInvestorGraph(investors)),
+		}
+		encode(fs)
+		return fs
+	}
+	deltaApply := func() *core.FrozenSnapshot {
+		fs, err := core.ApplyDelta(prev, sd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		encode(fs)
+		return fs
+	}
+	b.Run("full-refreeze", func(b *testing.B) {
+		var fs *core.FrozenSnapshot
+		for i := 0; i < b.N; i++ {
+			fs = fullRefreeze()
+		}
+		b.ReportMetric(float64(len(fs.Companies)), "companies")
+		b.ReportMetric(float64(len(fs.Investors)), "investors")
+	})
+	b.Run("delta-apply", func(b *testing.B) {
+		var fs *core.FrozenSnapshot
+		for i := 0; i < b.N; i++ {
+			fs = deltaApply()
+		}
+		b.ReportMetric(float64(len(sd.CompanyUpserts)+len(sd.InvestorUpserts)), "upserts")
+		b.ReportMetric(float64(len(fs.Companies)), "companies")
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var fullNs, deltaNs time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			fullRefreeze()
+			fullNs += time.Since(t0)
+			t1 := time.Now()
+			deltaApply()
+			deltaNs += time.Since(t1)
+		}
+		if deltaNs > 0 {
+			b.ReportMetric(float64(fullNs)/float64(deltaNs), "x_speedup")
+		}
+	})
+}
+
 // ---- E11: success prediction (§7) ----
 
 // BenchmarkE11Prediction measures the feature build + train + evaluate

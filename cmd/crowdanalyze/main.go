@@ -40,10 +40,11 @@ func main() {
 	pairs := flag.Int("pairs", 100000, "global pair-sample size for fig4 (paper: 800000)")
 	workers := flag.Int("workers", 0, "worker pool size for all parallel kernels (<=0: GOMAXPROCS); results are identical for any value")
 	rebuild := flag.Bool("rebuild-snapshot", false, "regenerate the frozen snapshot from the raw JSON namespaces and analyze via the rebuild path")
+	fullRefreeze := flag.Bool("full-refreeze", false, "rebuild every crawl round's frozen artifact from raw JSON instead of committing frozen/delta-N artifacts (bit-identical either way)")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
-	p, err := crowdscope.NewPipeline(crowdscope.PipelineConfig{Seed: *seed, Scale: *scale, Workers: *workers})
+	p, err := crowdscope.NewPipeline(crowdscope.PipelineConfig{Seed: *seed, Scale: *scale, Workers: *workers, FullRefreeze: *fullRefreeze})
 	if err != nil {
 		log.Fatal(err)
 	}

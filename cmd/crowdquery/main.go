@@ -40,7 +40,14 @@ func main() {
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
-	st, err := store.Open(*storeDir)
+	// Queries never write unless -rebuild-snapshot asks for one; the
+	// read-only open skips the crash-debris sweep, so querying a store
+	// that another process is still crawling into is safe.
+	openStore := store.OpenReadOnly
+	if *rebuild {
+		openStore = store.Open
+	}
+	st, err := openStore(*storeDir)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,7 +10,10 @@
 //
 // Routes: /healthz, /readyz, /statusz, /api/query?q=STMT,
 // /api/snapshot/{companies,investors,stats}. New frozen/snap-N
-// artifacts are hot-reloaded on the -refresh interval; SIGTERM drains
+// artifacts are hot-reloaded on the -refresh interval — by default by
+// applying the crawl's frozen/delta-N artifacts onto the served
+// snapshot in memory (-delta-refresh=false forces full reloads; any
+// delta failure falls back to one automatically); SIGTERM drains
 // gracefully (readyz flips to 503, in-flight requests finish, then the
 // listener closes).
 package main
@@ -42,9 +45,14 @@ func main() {
 	refresh := flag.Duration("refresh", 5*time.Second, "poll interval for new frozen snapshots")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
 	resultCache := flag.Int("result-cache", serve.DefaultResultCacheSize, "query result cache entries per snapshot (negative disables)")
+	deltaRefresh := flag.Bool("delta-refresh", true, "hot-swap by applying frozen/delta-N artifacts in memory (falls back to full reloads)")
 	flag.Parse()
 
-	st, err := store.Open(*storeDir)
+	// Read-only: the server never writes, and a writing Open would sweep
+	// a concurrently-crawling process's in-flight commit files as crash
+	// debris. This is what makes "crawl into the store crowdserve is
+	// serving from" safe.
+	st, err := store.OpenReadOnly(*storeDir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,6 +61,7 @@ func main() {
 		QueueDepth:      *queueDepth,
 		RouteTimeout:    *routeTimeout,
 		ResultCacheSize: *resultCache,
+		DeltaRefresh:    *deltaRefresh,
 		Logf:            log.Printf,
 		Clock:           time.Now,
 	})

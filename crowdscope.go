@@ -65,6 +65,13 @@ type PipelineConfig struct {
 	// simulated time; the token-rotation ablation reinstates the real
 	// 180-calls/15-minute window against a fake clock.
 	TwitterLimit int
+	// FullRefreeze disables the incremental delta path: every crawl
+	// round rebuilds its frozen artifact from the persisted JSON instead
+	// of applying a frozen/delta-N onto the previous snapshot. The two
+	// paths produce bit-identical artifacts (the delta==refreeze
+	// equivalence suite gates this); the flag exists as an escape hatch
+	// and for that suite.
+	FullRefreeze bool
 }
 
 // Pipeline owns one generated world, its simulated API server, and the
@@ -77,6 +84,18 @@ type Pipeline struct {
 
 	ts     *httptest.Server
 	client *crawler.Client
+
+	// Previous round's raw crawl, retained so the next round's delta can
+	// be pre-filtered by the crawler's RoundDiff instead of re-merging
+	// every entity. Only valid within one process: after a restart the
+	// delta path re-merges from the in-memory crawl alone.
+	lastCrawl     *crawler.Snapshot
+	lastCrawlSnap int
+
+	// DeltaFallbacks counts rounds whose delta commit failed and was
+	// recovered by a full refreeze (e.g. a re-crawled store whose
+	// duplicated records the delta apply kernel rejects).
+	DeltaFallbacks int
 }
 
 // NewPipeline generates the world, starts the in-process API server and
@@ -133,12 +152,13 @@ func NewPipelineFromWorld(world *ecosystem.World, cfg PipelineConfig) (*Pipeline
 		return nil, err
 	}
 	return &Pipeline{
-		Config: cfg,
-		World:  world,
-		Server: srv,
-		Store:  st,
-		ts:     ts,
-		client: client,
+		Config:        cfg,
+		World:         world,
+		Server:        srv,
+		Store:         st,
+		ts:            ts,
+		client:        client,
+		lastCrawlSnap: -1,
 	}, nil
 }
 
@@ -149,7 +169,16 @@ func (p *Pipeline) BaseURL() string { return p.ts.URL }
 // the next snapshot, returning the crawl summary. With Checkpoint (or
 // Resume) configured, progress is checkpointed into a per-snapshot
 // namespace and a resumed crawl continues where the last one stopped.
+//
+// Round 0 freezes the full world; later rounds commit a frozen/delta-N
+// artifact onto the previous frozen snapshot (bit-identical to a full
+// refreeze) unless FullRefreeze is set or the previous round's artifact
+// is missing. Interrupted delta commits left by a crash are completed
+// first via core.RecoverChain.
 func (p *Pipeline) Crawl(ctx context.Context, snapshot int) (*crawler.Snapshot, error) {
+	if _, err := core.RecoverChain(ctx, p.Store); err != nil {
+		return nil, fmt.Errorf("crowdscope: recover snapshot chain: %w", err)
+	}
 	cr := &crawler.Crawler{Client: p.client, Workers: p.Config.Workers}
 	alreadyPersisted := false
 	if p.Config.Checkpoint || p.Config.Resume {
@@ -172,15 +201,18 @@ func (p *Pipeline) Crawl(ctx context.Context, snapshot int) (*crawler.Snapshot, 
 		return nil, err
 	}
 	if alreadyPersisted {
+		p.lastCrawl, p.lastCrawlSnap = snap, snapshot
 		return snap, nil
 	}
 	if err := crawler.Persist(ctx, p.Store, snap, snapshot); err != nil {
 		return nil, err
 	}
 	// Snapshot-builder stage: emit the frozen columnar artifact so later
-	// Analyze calls skip the JSON merge entirely.
-	if _, err := core.BuildFrozen(ctx, p.Store, snapshot); err != nil {
-		return nil, fmt.Errorf("crowdscope: freeze snapshot %d: %w", snapshot, err)
+	// Analyze calls skip the JSON merge entirely. Incremental rounds go
+	// through the delta path: diff this round against the previous frozen
+	// snapshot and commit a delta artifact plus the applied result.
+	if err := p.freeze(ctx, snap, snapshot); err != nil {
+		return nil, err
 	}
 	if cr.Checkpoint != nil {
 		marker := &crawler.Checkpoint{
@@ -192,7 +224,58 @@ func (p *Pipeline) Crawl(ctx context.Context, snapshot int) (*crawler.Snapshot, 
 			return nil, err
 		}
 	}
+	p.lastCrawl, p.lastCrawlSnap = snap, snapshot
 	return snap, nil
+}
+
+// freeze emits the round's frozen artifact: a full rebuild from the
+// persisted JSON for round 0 (or when configured/forced), otherwise a
+// delta commit onto the previous frozen snapshot. Any delta-path
+// failure falls back to the full rebuild: the delta path is an
+// optimization, never a reason to abort a crawl. The fallback matters
+// in practice when a store is re-crawled — appended duplicate records
+// freeze silently on the full path but are rejected loudly by the
+// delta apply kernel.
+func (p *Pipeline) freeze(ctx context.Context, snap *crawler.Snapshot, snapshot int) error {
+	if snapshot <= 0 || p.Config.FullRefreeze || !core.HasFrozen(p.Store, snapshot-1) {
+		return p.fullFreeze(ctx, snapshot)
+	}
+	if err := p.deltaFreeze(ctx, snap, snapshot); err != nil {
+		p.DeltaFallbacks++
+		fmt.Fprintf(os.Stderr, "crowdscope: freeze snapshot %d: delta path failed (%v); falling back to full refreeze\n", snapshot, err)
+		return p.fullFreeze(ctx, snapshot)
+	}
+	return nil
+}
+
+func (p *Pipeline) fullFreeze(ctx context.Context, snapshot int) error {
+	if _, err := core.BuildFrozen(ctx, p.Store, snapshot); err != nil {
+		return fmt.Errorf("crowdscope: freeze snapshot %d: %w", snapshot, err)
+	}
+	return nil
+}
+
+// deltaFreeze commits the round as a frozen/delta-N artifact applied
+// onto the previous frozen snapshot. CommitDelta applies the delta in
+// memory before persisting anything, so a failure here leaves no
+// partial artifacts behind and the caller can re-freeze from scratch.
+func (p *Pipeline) deltaFreeze(ctx context.Context, snap *crawler.Snapshot, snapshot int) error {
+	prev, err := core.LoadFrozen(p.Store, snapshot-1)
+	if err != nil {
+		return err
+	}
+	prevRaw := p.lastCrawl
+	if p.lastCrawlSnap != snapshot-1 {
+		prevRaw = nil
+	}
+	sd, err := core.DiffCrawl(prev, prevRaw, snap, snapshot)
+	if err != nil {
+		return err
+	}
+	if _, err := core.CommitDelta(ctx, p.Store, prev, sd); err != nil {
+		return err
+	}
+	return nil
 }
 
 // AdvanceDays evolves the world (the longitudinal simulation) and

@@ -1,0 +1,178 @@
+package crowdscope
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"crowdscope/internal/core"
+)
+
+// TestRecrawlFallsBackToFullRefreeze re-crawls an existing store with a
+// second pipeline. The crawler appends its records to the same record
+// namespaces, so the re-crawled rounds carry duplicate entities — the
+// full-rebuild path freezes those silently, but the delta apply kernel
+// rejects the duplicated left nodes loudly. The pipeline must absorb
+// that rejection by falling back to a full refreeze instead of aborting
+// the crawl mid-run.
+func TestRecrawlFallsBackToFullRefreeze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+	cfg := PipelineConfig{Seed: 7, Scale: 0.002, StoreDir: dir, Workers: 4}
+
+	run := func() *Pipeline {
+		p, err := NewPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		for r := 0; r < 2; r++ {
+			if r > 0 {
+				p.AdvanceDays(15)
+			}
+			if _, err := p.Crawl(ctx, r); err != nil {
+				t.Fatalf("crawl round %d: %v", r, err)
+			}
+		}
+		return p
+	}
+
+	first := run()
+	if first.DeltaFallbacks != 0 {
+		t.Fatalf("fresh store took %d delta fallbacks", first.DeltaFallbacks)
+	}
+	if !core.HasDelta(first.Store, 1) {
+		t.Fatal("fresh store round 1 emitted no delta artifact")
+	}
+
+	second := run()
+	if second.DeltaFallbacks != 1 {
+		t.Fatalf("re-crawl took %d delta fallbacks, want 1", second.DeltaFallbacks)
+	}
+	if !core.HasFrozen(second.Store, 1) {
+		t.Fatal("re-crawl round 1 left no frozen snapshot")
+	}
+
+	// The stale delta-1 from the first run must not poison the chain
+	// reader: snapshot 1 has a committed frozen artifact, so the chain
+	// materializes it directly and never applies the stale delta.
+	chain, err := core.LoadChain(second.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := chain.Snapshot(1)
+	if err != nil {
+		t.Fatalf("chain snapshot 1 after re-crawl: %v", err)
+	}
+	loaded, err := core.LoadFrozen(second.Store, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Companies) != len(loaded.Companies) || len(fs.Investors) != len(loaded.Investors) {
+		t.Fatalf("chain materialization diverges from frozen artifact: %d/%d companies, %d/%d investors",
+			len(fs.Companies), len(loaded.Companies), len(fs.Investors), len(loaded.Investors))
+	}
+}
+
+// TestDeltaRefreezeEquivalenceEndToEnd is the pipeline-level half of the
+// delta==refreeze gate: two pipelines crawl the same evolving world, one
+// committing frozen/delta-N artifacts (the default), the other forcing a
+// full refreeze every round. Every frozen snapshot and index blob must
+// come out bit-identical. The two pipelines deliberately run with
+// different worker counts — artifact bytes must not depend on crawl
+// scheduling.
+func TestDeltaRefreezeEquivalenceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	seeds := []int64{5, 11}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			ctx := context.Background()
+			const rounds = 3
+
+			delta, err := NewPipeline(PipelineConfig{
+				Seed: seed, Scale: 0.004, StoreDir: t.TempDir(), Workers: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer delta.Close()
+			full, err := NewPipeline(PipelineConfig{
+				Seed: seed, Scale: 0.004, StoreDir: t.TempDir(), Workers: 8,
+				FullRefreeze: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer full.Close()
+
+			for r := 0; r < rounds; r++ {
+				if r > 0 {
+					delta.AdvanceDays(15)
+					full.AdvanceDays(15)
+				}
+				if _, err := delta.Crawl(ctx, r); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := full.Crawl(ctx, r); err != nil {
+					t.Fatal(err)
+				}
+
+				for _, ns := range []string{core.FrozenNamespace(r), core.IndexNamespace(r)} {
+					dBytes, dFmt, err := delta.Store.GetBlob(ns)
+					if err != nil {
+						t.Fatalf("round %d: delta store %s: %v", r, ns, err)
+					}
+					fBytes, fFmt, err := full.Store.GetBlob(ns)
+					if err != nil {
+						t.Fatalf("round %d: refreeze store %s: %v", r, ns, err)
+					}
+					if dFmt != fFmt || string(dBytes) != string(fBytes) {
+						t.Fatalf("round %d: %s diverges between delta and refreeze stores (%d vs %d bytes)",
+							r, ns, len(dBytes), len(fBytes))
+					}
+				}
+
+				// The incremental pipeline must actually have taken the
+				// delta path (and the refreeze pipeline must not have).
+				if r > 0 {
+					if !core.HasDelta(delta.Store, r) {
+						t.Fatalf("round %d: delta pipeline emitted no %s", r, core.DeltaNamespace(r))
+					}
+					if core.HasDelta(full.Store, r) {
+						t.Fatalf("round %d: FullRefreeze pipeline emitted a delta artifact", r)
+					}
+				}
+			}
+
+			// The chain reader materializes every round of the delta store
+			// to the same entities the analysis sees.
+			chain, err := core.LoadChain(delta.Store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chain.Latest() != rounds-1 {
+				t.Fatalf("chain latest = %d, want %d", chain.Latest(), rounds-1)
+			}
+			fs, err := chain.Snapshot(rounds - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := core.LoadFrozen(delta.Store, rounds-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fs.Companies) != len(loaded.Companies) || len(fs.Investors) != len(loaded.Investors) {
+				t.Fatalf("chain materialization diverges: %d/%d companies, %d/%d investors",
+					len(fs.Companies), len(loaded.Companies), len(fs.Investors), len(loaded.Investors))
+			}
+		})
+	}
+}

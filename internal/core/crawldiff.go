@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdscope/internal/crawler"
+	"crowdscope/internal/ecosystem"
+)
+
+// Round diffing: instead of re-reading and re-joining every persisted
+// record (BuildFrozen's path), an incremental crawl round merges the
+// in-memory crawl snapshot entity by entity and diffs the result
+// against the previous frozen snapshot. The per-entity merges below
+// replicate the dataflow joins in merge.go exactly — they are pure
+// functions of the raw records, so a raw-unchanged entity always merges
+// to an identical row, which is what makes the crawler's conservative
+// RoundDiff a sound pre-filter.
+
+// mergeCompany builds the merged company row for one startup, mirroring
+// LoadCompanies' left-outer joins (absent augment profiles leave their
+// fields zero).
+func mergeCompany(s *ecosystem.Startup, cb *ecosystem.CrunchBaseProfile, fb *ecosystem.FacebookProfile, tw *ecosystem.TwitterProfile) Company {
+	c := Company{
+		ID:          s.ID,
+		Name:        s.Name,
+		Raising:     s.Raising,
+		HasVideo:    s.HasDemoVideo,
+		HasFacebook: s.FacebookURL != "",
+		HasTwitter:  s.TwitterURL != "",
+	}
+	if cb != nil {
+		c.RoundCount = len(cb.Rounds)
+		c.Funded = len(cb.Rounds) > 0
+		for _, r := range cb.Rounds {
+			c.TotalRaisedUSD += r.AmountUSD
+		}
+	}
+	if fb != nil {
+		c.Likes = fb.Likes
+	}
+	if tw != nil {
+		c.Tweets = tw.StatusesCount
+		c.Followers = tw.FollowersCount
+	}
+	return c
+}
+
+// mergeInvestor builds the merged investor row for one user, mirroring
+// LoadInvestors; ok is false for users with no investments (the paper's
+// bipartite graph omits them).
+func mergeInvestor(u *ecosystem.User) (Investor, bool) {
+	if len(u.Investments) == 0 {
+		return Investor{}, false
+	}
+	return Investor{ID: u.ID, Investments: u.Investments, Follows: len(u.FollowsStartups)}, true
+}
+
+// mergeCrawl merges the whole crawl snapshot in memory, producing the
+// same sorted entity lists BuildFrozen derives from the persisted
+// records (graph not built — callers diff entities).
+func mergeCrawl(cur *crawler.Snapshot, snap int) *FrozenSnapshot {
+	fs := &FrozenSnapshot{Snapshot: snap}
+	fs.Companies = make([]Company, 0, len(cur.Startups))
+	for id, s := range cur.Startups {
+		fs.Companies = append(fs.Companies, mergeCompany(s, cur.CrunchBase[id], cur.Facebook[id], cur.Twitter[id]))
+	}
+	sort.Slice(fs.Companies, func(i, j int) bool { return fs.Companies[i].ID < fs.Companies[j].ID })
+	for _, u := range cur.Users {
+		if inv, ok := mergeInvestor(u); ok {
+			fs.Investors = append(fs.Investors, inv)
+		}
+	}
+	sort.Slice(fs.Investors, func(i, j int) bool { return fs.Investors[i].ID < fs.Investors[j].ID })
+	return fs
+}
+
+func findCompany(fs *FrozenSnapshot, id string) (Company, bool) {
+	i := sort.Search(len(fs.Companies), func(i int) bool { return fs.Companies[i].ID >= id })
+	if i < len(fs.Companies) && fs.Companies[i].ID == id {
+		return fs.Companies[i], true
+	}
+	return Company{}, false
+}
+
+func findInvestor(fs *FrozenSnapshot, id string) (Investor, bool) {
+	i := sort.Search(len(fs.Investors), func(i int) bool { return fs.Investors[i].ID >= id })
+	if i < len(fs.Investors) && fs.Investors[i].ID == id {
+		return fs.Investors[i], true
+	}
+	return Investor{}, false
+}
+
+// DiffCrawl computes the delta turning the previous frozen snapshot
+// into the current crawl round's merged world. When the raw previous
+// round is available (prevRaw non-nil, same process), the crawler's
+// RoundDiff restricts merging to entities whose raw records moved;
+// otherwise every entity is re-merged in memory. Both paths emit the
+// identical delta: an upsert only where the *merged* row differs.
+func DiffCrawl(prev *FrozenSnapshot, prevRaw, cur *crawler.Snapshot, target int) (*SnapshotDelta, error) {
+	if target != prev.Snapshot+1 {
+		return nil, fmt.Errorf("core: diff crawl: target %d does not follow snapshot %d", target, prev.Snapshot)
+	}
+	sd := &SnapshotDelta{Base: prev.Snapshot, Target: target}
+	if prevRaw == nil {
+		next := mergeCrawl(cur, target)
+		return DiffFrozen(prev, next), nil
+	}
+	rd := crawler.DiffRounds(prevRaw, cur)
+	for _, id := range rd.StartupsUpserted {
+		c := mergeCompany(cur.Startups[id], cur.CrunchBase[id], cur.Facebook[id], cur.Twitter[id])
+		if old, ok := findCompany(prev, id); !ok || old != c {
+			sd.CompanyUpserts = append(sd.CompanyUpserts, c)
+		}
+	}
+	sd.CompanyDrops = append(sd.CompanyDrops, rd.StartupsRemoved...)
+	for _, id := range rd.UsersUpserted {
+		inv, ok := mergeInvestor(cur.Users[id])
+		if !ok {
+			// Still a user, no longer an investor.
+			if _, had := findInvestor(prev, id); had {
+				sd.InvestorDrops = append(sd.InvestorDrops, id)
+			}
+			continue
+		}
+		if old, had := findInvestor(prev, id); !had || !investorEqual(old, inv) {
+			sd.InvestorUpserts = append(sd.InvestorUpserts, inv)
+		}
+	}
+	for _, id := range rd.UsersRemoved {
+		if _, had := findInvestor(prev, id); had {
+			sd.InvestorDrops = append(sd.InvestorDrops, id)
+		}
+	}
+	sort.Strings(sd.InvestorDrops)
+	return sd, nil
+}

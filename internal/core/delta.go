@@ -1,0 +1,368 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+
+	"crowdscope/internal/snapshot"
+	"crowdscope/internal/store"
+)
+
+// Delta snapshots make the longitudinal crawl incremental: after round
+// 1, each crawl emits a frozen/delta-N artifact carrying only the
+// entities that changed since round N-1 (full rows, same column scheme
+// as the snapshot artifact) plus tombstones for the ones that
+// disappeared. Applying the delta onto the previous frozen snapshot
+// produces the next one without the raw-JSON merge — and the result is
+// bit-identical to a full refreeze, which is what the delta==refreeze
+// equivalence suite gates.
+
+// ErrDeltaConflict reports a delta that does not fit the snapshot it is
+// being applied to: wrong base version, or a tombstone referencing an
+// entity the base never had. Conflicts are loud — silently dropping a
+// tombstone would fork the chain from the refreeze path.
+var ErrDeltaConflict = errors.New("core: delta conflicts with its base snapshot")
+
+// SnapshotDelta is the decoded delta between two consecutive frozen
+// snapshots. Upserts carry complete merged rows (an entity is either
+// absent or fully specified — there are no partial-field patches) and
+// all four lists are sorted by ID, which the codec validates so a
+// corrupted artifact cannot smuggle an out-of-order merge.
+type SnapshotDelta struct {
+	Base   int // the snapshot this applies on top of
+	Target int // the snapshot it produces; always Base+1
+
+	CompanyUpserts  []Company
+	InvestorUpserts []Investor
+	CompanyDrops    []string
+	InvestorDrops   []string
+}
+
+// Empty reports whether the delta changes nothing.
+func (sd *SnapshotDelta) Empty() bool {
+	return len(sd.CompanyUpserts) == 0 && len(sd.InvestorUpserts) == 0 &&
+		len(sd.CompanyDrops) == 0 && len(sd.InvestorDrops) == 0
+}
+
+// DeltaNamespace returns the store namespace holding the delta that
+// produces the given snapshot. Like IndexNamespace it must not share the
+// "frozen/snap-" prefix LatestFrozen parses.
+func DeltaNamespace(snap int) string {
+	return fmt.Sprintf("frozen/delta-%06d", snap)
+}
+
+// HasDelta reports whether a committed delta artifact produces the
+// given snapshot.
+func HasDelta(st *store.Store, snap int) bool {
+	return st.HasBlob(DeltaNamespace(snap))
+}
+
+// EncodeDelta serializes the delta into a CSFROZ01 artifact: the
+// base/target metadata, the upserted entities in the snapshot column
+// scheme under the delta.co/delta.inv prefixes, and the tombstone ID
+// tables. Every section carries the container's per-section CRC32C.
+func EncodeDelta(sd *SnapshotDelta) ([]byte, error) {
+	if sd.Target != sd.Base+1 {
+		return nil, fmt.Errorf("core: delta %d->%d must advance exactly one snapshot", sd.Base, sd.Target)
+	}
+	e := snapshot.NewEncoder()
+	snapshot.EncodeDeltaMeta(e, int64(sd.Base), int64(sd.Target))
+	encodeCompanyColumns(e, "delta.co", sd.CompanyUpserts)
+	encodeInvestorColumns(e, "delta.inv", sd.InvestorUpserts)
+	e.Strings("delta.drop.co", sd.CompanyDrops)
+	e.Strings("delta.drop.inv", sd.InvestorDrops)
+	return e.Bytes()
+}
+
+// DecodeDelta parses an artifact produced by EncodeDelta, validating
+// the framing the apply kernel depends on: strictly ascending IDs in
+// every list, and no ID both upserted and dropped.
+func DecodeDelta(data []byte) (*SnapshotDelta, error) {
+	d, err := snapshot.NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	base, target, err := snapshot.DecodeDeltaMeta(d)
+	if err != nil {
+		return nil, err
+	}
+	sd := &SnapshotDelta{Base: int(base), Target: int(target)}
+	sd.CompanyUpserts, err = decodeCompanyColumns(d, "delta.co")
+	if err != nil {
+		return nil, err
+	}
+	sd.InvestorUpserts, err = decodeInvestorColumns(d, "delta.inv")
+	if err != nil {
+		return nil, err
+	}
+	sd.CompanyDrops, err = d.Strings("delta.drop.co")
+	if err != nil {
+		return nil, err
+	}
+	sd.InvestorDrops, err = d.Strings("delta.drop.inv")
+	if err != nil {
+		return nil, err
+	}
+	for _, check := range []struct {
+		name    string
+		upserts []string
+		drops   []string
+	}{
+		{name: "company", upserts: companyIDs(sd.CompanyUpserts), drops: sd.CompanyDrops},
+		{name: "investor", upserts: investorIDs(sd.InvestorUpserts), drops: sd.InvestorDrops},
+	} {
+		if !strictlyAscending(check.upserts) || !strictlyAscending(check.drops) {
+			return nil, fmt.Errorf("%w: %s delta lists are not strictly ascending", snapshot.ErrCorrupt, check.name)
+		}
+		for _, id := range check.drops {
+			if _, dup := slices.BinarySearch(check.upserts, id); dup {
+				return nil, fmt.Errorf("%w: %s %q is both upserted and dropped", snapshot.ErrCorrupt, check.name, id)
+			}
+		}
+	}
+	return sd, nil
+}
+
+func companyIDs(cs []Company) []string {
+	ids := make([]string, len(cs))
+	for i, c := range cs {
+		ids[i] = c.ID
+	}
+	return ids
+}
+
+func investorIDs(vs []Investor) []string {
+	ids := make([]string, len(vs))
+	for i, v := range vs {
+		ids[i] = v.ID
+	}
+	return ids
+}
+
+func strictlyAscending(ids []string) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadDelta loads and validates the delta producing the given snapshot.
+func LoadDelta(st *store.Store, snap int) (*SnapshotDelta, error) {
+	data, format, err := st.GetBlob(DeltaNamespace(snap))
+	if err != nil {
+		return nil, err
+	}
+	if format != snapshot.DeltaFormatVersion {
+		return nil, fmt.Errorf("core: delta %d has format %d (reader supports %d)",
+			snap, format, snapshot.DeltaFormatVersion)
+	}
+	sd, err := DecodeDelta(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: delta %d: %w", snap, err)
+	}
+	if sd.Target != snap {
+		return nil, fmt.Errorf("%w: artifact targets snapshot %d but is stored under snapshot %d",
+			snapshot.ErrCorrupt, sd.Target, snap)
+	}
+	return sd, nil
+}
+
+// investorEqual compares merged investors including the load-bearing
+// investment order (Company is comparable, so == suffices there).
+func investorEqual(a, b Investor) bool {
+	return a.ID == b.ID && a.Follows == b.Follows && slices.Equal(a.Investments, b.Investments)
+}
+
+// DiffFrozen computes the delta turning prev into next: a two-pointer
+// walk over the sorted entity lists emitting full-row upserts for added
+// or changed entities and tombstones for removed ones.
+func DiffFrozen(prev, next *FrozenSnapshot) *SnapshotDelta {
+	sd := &SnapshotDelta{Base: prev.Snapshot, Target: next.Snapshot}
+	i, j := 0, 0
+	for i < len(prev.Companies) || j < len(next.Companies) {
+		switch {
+		case i >= len(prev.Companies):
+			sd.CompanyUpserts = append(sd.CompanyUpserts, next.Companies[j])
+			j++
+		case j >= len(next.Companies) || prev.Companies[i].ID < next.Companies[j].ID:
+			sd.CompanyDrops = append(sd.CompanyDrops, prev.Companies[i].ID)
+			i++
+		case prev.Companies[i].ID > next.Companies[j].ID:
+			sd.CompanyUpserts = append(sd.CompanyUpserts, next.Companies[j])
+			j++
+		default:
+			if prev.Companies[i] != next.Companies[j] {
+				sd.CompanyUpserts = append(sd.CompanyUpserts, next.Companies[j])
+			}
+			i++
+			j++
+		}
+	}
+	i, j = 0, 0
+	for i < len(prev.Investors) || j < len(next.Investors) {
+		switch {
+		case i >= len(prev.Investors):
+			sd.InvestorUpserts = append(sd.InvestorUpserts, next.Investors[j])
+			j++
+		case j >= len(next.Investors) || prev.Investors[i].ID < next.Investors[j].ID:
+			sd.InvestorDrops = append(sd.InvestorDrops, prev.Investors[i].ID)
+			i++
+		case prev.Investors[i].ID > next.Investors[j].ID:
+			sd.InvestorUpserts = append(sd.InvestorUpserts, next.Investors[j])
+			j++
+		default:
+			if !investorEqual(prev.Investors[i], next.Investors[j]) {
+				sd.InvestorUpserts = append(sd.InvestorUpserts, next.Investors[j])
+			}
+			i++
+			j++
+		}
+	}
+	return sd
+}
+
+// mergeSorted applies sorted upserts and drops onto a sorted base list.
+// A tombstone must name an existing entity and an upsert keeps the list
+// sorted by construction; any mismatch is an ErrDeltaConflict.
+func mergeSorted[T any](kind string, base []T, id func(T) string, upserts []T, drops []string) ([]T, error) {
+	out := make([]T, 0, len(base)+len(upserts))
+	i, u, dr := 0, 0, 0
+	for i < len(base) || u < len(upserts) {
+		var takeUpsert bool
+		switch {
+		case i >= len(base):
+			takeUpsert = true
+		case u >= len(upserts):
+			takeUpsert = false
+		default:
+			takeUpsert = id(upserts[u]) <= id(base[i])
+		}
+		if takeUpsert {
+			if i < len(base) && id(base[i]) == id(upserts[u]) {
+				i++ // replaced
+			}
+			out = append(out, upserts[u])
+			u++
+			continue
+		}
+		if dr < len(drops) && drops[dr] == id(base[i]) {
+			dr++
+			i++ // dropped
+			continue
+		}
+		if dr < len(drops) && drops[dr] < id(base[i]) {
+			return nil, fmt.Errorf("%w: tombstone for unknown %s %q", ErrDeltaConflict, kind, drops[dr])
+		}
+		out = append(out, base[i])
+		i++
+	}
+	if dr < len(drops) {
+		return nil, fmt.Errorf("%w: tombstone for unknown %s %q", ErrDeltaConflict, kind, drops[dr])
+	}
+	return out, nil
+}
+
+// ApplyDelta applies a delta onto its base snapshot, producing the
+// target snapshot in memory: entity lists via a sorted merge, the
+// bipartite graph via the snapshot package's CSR apply kernel over the
+// retained rows (which alias the base artifact's columns) plus the
+// upserted ones. The result is bit-identical to a full refreeze of the
+// target round.
+func ApplyDelta(prev *FrozenSnapshot, sd *SnapshotDelta) (*FrozenSnapshot, error) {
+	if prev.Snapshot != sd.Base {
+		return nil, fmt.Errorf("%w: delta %d->%d applied to snapshot %d",
+			ErrDeltaConflict, sd.Base, sd.Target, prev.Snapshot)
+	}
+	companies, err := mergeSorted("company", prev.Companies, func(c Company) string { return c.ID },
+		sd.CompanyUpserts, sd.CompanyDrops)
+	if err != nil {
+		return nil, err
+	}
+	investors, err := mergeSorted("investor", prev.Investors, func(v Investor) string { return v.ID },
+		sd.InvestorUpserts, sd.InvestorDrops)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]snapshot.AdjacencyRow, len(investors))
+	for i, inv := range investors {
+		rows[i] = snapshot.AdjacencyRow{Left: inv.ID, Rights: inv.Investments}
+	}
+	g, err := snapshot.ApplyBipartite(rows)
+	if err != nil {
+		return nil, fmt.Errorf("core: apply delta %d->%d: %w", sd.Base, sd.Target, err)
+	}
+	return &FrozenSnapshot{
+		Snapshot:  sd.Target,
+		Companies: companies,
+		Investors: investors,
+		Graph:     g,
+	}, nil
+}
+
+// CommitDelta durably commits one incremental round: the delta artifact
+// first, then the applied target snapshot (and its index blob) via
+// CommitFrozen. A crash between the two leaves the delta behind with no
+// target snapshot; RecoverChain finds and re-applies it, so resume
+// converges on the same chain as a fault-free run. Returns the applied
+// target snapshot.
+func CommitDelta(ctx context.Context, st *store.Store, prev *FrozenSnapshot, sd *SnapshotDelta) (*FrozenSnapshot, error) {
+	data, err := EncodeDelta(sd)
+	if err != nil {
+		return nil, err
+	}
+	next, err := ApplyDelta(prev, sd)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: commit delta %d->%d: %w", sd.Base, sd.Target, err)
+	}
+	if err := st.PutBlob(DeltaNamespace(sd.Target), snapshot.DeltaFormatVersion, data); err != nil {
+		return nil, err
+	}
+	if err := CommitFrozen(ctx, st, next); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// RecoverChain completes interrupted delta commits: every persisted
+// delta whose target snapshot is missing is re-applied (in ascending
+// order, so consecutive pending deltas chain) and its target committed.
+// It returns the recovered snapshot tags; an empty store or a fully
+// committed chain is a cheap no-op.
+func RecoverChain(ctx context.Context, st *store.Store) ([]int, error) {
+	var pending []int
+	for _, ns := range st.Namespaces() {
+		var snap int
+		if _, err := fmt.Sscanf(ns, "frozen/delta-%d", &snap); err == nil && st.HasBlob(ns) && !HasFrozen(st, snap) {
+			pending = append(pending, snap)
+		}
+	}
+	sort.Ints(pending)
+	var recovered []int
+	for _, snap := range pending {
+		sd, err := LoadDelta(st, snap)
+		if err != nil {
+			return recovered, fmt.Errorf("core: recover chain: %w", err)
+		}
+		prev, err := LoadFrozen(st, sd.Base)
+		if err != nil {
+			return recovered, fmt.Errorf("core: recover chain: delta %d has no base snapshot: %w", snap, err)
+		}
+		next, err := ApplyDelta(prev, sd)
+		if err != nil {
+			return recovered, fmt.Errorf("core: recover chain: %w", err)
+		}
+		if err := CommitFrozen(ctx, st, next); err != nil {
+			return recovered, fmt.Errorf("core: recover chain: %w", err)
+		}
+		recovered = append(recovered, snap)
+	}
+	return recovered, nil
+}

@@ -141,8 +141,18 @@ func LoadFrozen(st *store.Store, snap int) (*FrozenSnapshot, error) {
 func EncodeFrozen(fs *FrozenSnapshot) ([]byte, error) {
 	e := snapshot.NewEncoder()
 	e.Int64s("meta.snapshot", []int64{int64(fs.Snapshot)})
+	encodeCompanyColumns(e, "co", fs.Companies)
+	encodeInvestorColumns(e, "inv", fs.Investors)
+	snapshot.EncodeBipartite(e, "g", fs.Graph)
+	return e.Bytes()
+}
 
-	nCo := len(fs.Companies)
+// encodeCompanyColumns adds the company column family under the given
+// section prefix — shared between the full snapshot artifact ("co") and
+// the delta artifact's upsert sections ("delta.co"), so both carry the
+// exact same column scheme.
+func encodeCompanyColumns(e *snapshot.Encoder, prefix string, companies []Company) {
+	nCo := len(companies)
 	coIDs := make([]string, nCo)
 	coNames := make([]string, nCo)
 	coFlags := make([]uint8, nCo)
@@ -151,7 +161,7 @@ func EncodeFrozen(fs *FrozenSnapshot) ([]byte, error) {
 	coFollowers := make([]int64, nCo)
 	coRounds := make([]int64, nCo)
 	coRaised := make([]int64, nCo)
-	for i, c := range fs.Companies {
+	for i, c := range companies {
 		coIDs[i] = c.ID
 		coNames[i] = c.Name
 		var f uint8
@@ -177,21 +187,25 @@ func EncodeFrozen(fs *FrozenSnapshot) ([]byte, error) {
 		coRounds[i] = int64(c.RoundCount)
 		coRaised[i] = c.TotalRaisedUSD
 	}
-	e.Strings("co.ids", coIDs)
-	e.Strings("co.names", coNames)
-	e.Uint8s("co.flags", coFlags)
-	e.Int64s("co.likes", coLikes)
-	e.Int64s("co.tweets", coTweets)
-	e.Int64s("co.followers", coFollowers)
-	e.Int64s("co.rounds", coRounds)
-	e.Int64s("co.raised", coRaised)
+	e.Strings(prefix+".ids", coIDs)
+	e.Strings(prefix+".names", coNames)
+	e.Uint8s(prefix+".flags", coFlags)
+	e.Int64s(prefix+".likes", coLikes)
+	e.Int64s(prefix+".tweets", coTweets)
+	e.Int64s(prefix+".followers", coFollowers)
+	e.Int64s(prefix+".rounds", coRounds)
+	e.Int64s(prefix+".raised", coRaised)
+}
 
-	nInv := len(fs.Investors)
+// encodeInvestorColumns adds the investor column family under the given
+// section prefix (see encodeCompanyColumns).
+func encodeInvestorColumns(e *snapshot.Encoder, prefix string, investors []Investor) {
+	nInv := len(investors)
 	invIDs := make([]string, nInv)
 	invFollows := make([]int64, nInv)
 	invOffsets := make([]int64, nInv+1)
 	var invFlat []string
-	for i, inv := range fs.Investors {
+	for i, inv := range investors {
 		invIDs[i] = inv.ID
 		invFollows[i] = int64(inv.Follows)
 		invOffsets[i] = int64(len(invFlat))
@@ -201,13 +215,10 @@ func EncodeFrozen(fs *FrozenSnapshot) ([]byte, error) {
 		invFlat = append(invFlat, inv.Investments...)
 	}
 	invOffsets[nInv] = int64(len(invFlat))
-	e.Strings("inv.ids", invIDs)
-	e.Int64s("inv.follows", invFollows)
-	e.Int64s("inv.investments.offsets", invOffsets)
-	e.Strings("inv.investments.flat", invFlat)
-
-	snapshot.EncodeBipartite(e, "g", fs.Graph)
-	return e.Bytes()
+	e.Strings(prefix+".ids", invIDs)
+	e.Int64s(prefix+".follows", invFollows)
+	e.Int64s(prefix+".investments.offsets", invOffsets)
+	e.Strings(prefix+".investments.flat", invFlat)
 }
 
 // DecodeFrozen parses an artifact produced by EncodeFrozen.
@@ -225,53 +236,71 @@ func DecodeFrozen(data []byte) (*FrozenSnapshot, error) {
 	}
 	fs := &FrozenSnapshot{Snapshot: int(meta[0])}
 
-	coIDs, err := d.Strings("co.ids")
+	fs.Companies, err = decodeCompanyColumns(d, "co")
 	if err != nil {
 		return nil, err
 	}
-	coNames, err := d.Strings("co.names")
+	fs.Investors, err = decodeInvestorColumns(d, "inv")
 	if err != nil {
 		return nil, err
 	}
-	coFlags, err := d.Uint8s("co.flags")
+	fs.Graph, err = snapshot.DecodeBipartite(d, "g")
 	if err != nil {
 		return nil, err
 	}
-	coLikes, err := d.Int64s("co.likes")
+	return fs, nil
+}
+
+// decodeCompanyColumns parses a company column family written by
+// encodeCompanyColumns under the given section prefix.
+func decodeCompanyColumns(d *snapshot.Decoder, prefix string) ([]Company, error) {
+	coIDs, err := d.Strings(prefix + ".ids")
 	if err != nil {
 		return nil, err
 	}
-	coTweets, err := d.Int64s("co.tweets")
+	coNames, err := d.Strings(prefix + ".names")
 	if err != nil {
 		return nil, err
 	}
-	coFollowers, err := d.Int64s("co.followers")
+	coFlags, err := d.Uint8s(prefix + ".flags")
 	if err != nil {
 		return nil, err
 	}
-	coRounds, err := d.Int64s("co.rounds")
+	coLikes, err := d.Int64s(prefix + ".likes")
 	if err != nil {
 		return nil, err
 	}
-	coRaised, err := d.Int64s("co.raised")
+	coTweets, err := d.Int64s(prefix + ".tweets")
+	if err != nil {
+		return nil, err
+	}
+	coFollowers, err := d.Int64s(prefix + ".followers")
+	if err != nil {
+		return nil, err
+	}
+	coRounds, err := d.Int64s(prefix + ".rounds")
+	if err != nil {
+		return nil, err
+	}
+	coRaised, err := d.Int64s(prefix + ".raised")
 	if err != nil {
 		return nil, err
 	}
 	nCo := len(coIDs)
 	for name, n := range map[string]int{
-		"co.names": len(coNames), "co.flags": len(coFlags),
-		"co.likes": len(coLikes), "co.tweets": len(coTweets),
-		"co.followers": len(coFollowers), "co.rounds": len(coRounds),
-		"co.raised": len(coRaised),
+		prefix + ".names": len(coNames), prefix + ".flags": len(coFlags),
+		prefix + ".likes": len(coLikes), prefix + ".tweets": len(coTweets),
+		prefix + ".followers": len(coFollowers), prefix + ".rounds": len(coRounds),
+		prefix + ".raised": len(coRaised),
 	} {
 		if n != nCo {
 			return nil, fmt.Errorf("%w: %s holds %d values for %d companies", snapshot.ErrCorrupt, name, n, nCo)
 		}
 	}
-	fs.Companies = make([]Company, nCo)
-	for i := range fs.Companies {
+	companies := make([]Company, nCo)
+	for i := range companies {
 		f := coFlags[i]
-		fs.Companies[i] = Company{
+		companies[i] = Company{
 			ID:             coIDs[i],
 			Name:           coNames[i],
 			Raising:        f&flagRaising != 0,
@@ -286,20 +315,25 @@ func DecodeFrozen(data []byte) (*FrozenSnapshot, error) {
 			TotalRaisedUSD: coRaised[i],
 		}
 	}
+	return companies, nil
+}
 
-	invIDs, err := d.Strings("inv.ids")
+// decodeInvestorColumns parses an investor column family written by
+// encodeInvestorColumns under the given section prefix.
+func decodeInvestorColumns(d *snapshot.Decoder, prefix string) ([]Investor, error) {
+	invIDs, err := d.Strings(prefix + ".ids")
 	if err != nil {
 		return nil, err
 	}
-	invFollows, err := d.Int64s("inv.follows")
+	invFollows, err := d.Int64s(prefix + ".follows")
 	if err != nil {
 		return nil, err
 	}
-	invOffsets, err := d.Int64s("inv.investments.offsets")
+	invOffsets, err := d.Int64s(prefix + ".investments.offsets")
 	if err != nil {
 		return nil, err
 	}
-	invFlat, err := d.Strings("inv.investments.flat")
+	invFlat, err := d.Strings(prefix + ".investments.flat")
 	if err != nil {
 		return nil, err
 	}
@@ -312,23 +346,18 @@ func DecodeFrozen(data []byte) (*FrozenSnapshot, error) {
 		return nil, fmt.Errorf("%w: investment offsets [%d,%d] disagree with %d entries",
 			snapshot.ErrCorrupt, invOffsets[0], invOffsets[nInv], len(invFlat))
 	}
-	fs.Investors = make([]Investor, nInv)
-	for i := range fs.Investors {
+	investors := make([]Investor, nInv)
+	for i := range investors {
 		lo, hi := invOffsets[i], invOffsets[i+1]
 		if lo > hi || hi > int64(len(invFlat)) {
 			return nil, fmt.Errorf("%w: invalid investment offsets [%d,%d) for investor %d",
 				snapshot.ErrCorrupt, lo, hi, i)
 		}
-		fs.Investors[i] = Investor{
+		investors[i] = Investor{
 			ID:          invIDs[i],
 			Investments: invFlat[lo:hi:hi],
 			Follows:     int(invFollows[i]),
 		}
 	}
-
-	fs.Graph, err = snapshot.DecodeBipartite(d, "g")
-	if err != nil {
-		return nil, err
-	}
-	return fs, nil
+	return investors, nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -20,6 +21,14 @@ import (
 //	frozen/snap-NNNNNN/companies   one record per merged Company
 //	frozen/snap-NNNNNN/investors   one record per merged Investor
 //
+// Longitudinal namespaces expose the snapshot chain's diffs, one record
+// per entity added, removed, or changed between two versions (fields:
+// ID, Change, Before, After — so predicates like After.Likes address
+// the endpoint rows):
+//
+//	frozen/chain/A-B/companies     company changes between snapshots A and B
+//	frozen/chain/A-B/investors     investor changes between snapshots A and B
+//
 // Any other namespace scans the underlying store unchanged.
 //
 // Decoded snapshots, their marshalled row payloads, and their secondary
@@ -31,7 +40,17 @@ type QuerySource struct {
 
 	mu      sync.Mutex
 	entries map[int]*frozenEntry
+
+	// Marshalled chain-diff tables keyed "A-B", FIFO-bounded like the
+	// snapshot cache (diffs are derived from immutable artifacts, so
+	// entries never go stale either).
+	chains     map[string]map[string][][]byte
+	chainOrder []string
 }
+
+// maxCachedChainDiffs bounds the chain-diff cache: longitudinal
+// exploration typically narrows on one version pair at a time.
+const maxCachedChainDiffs = 2
 
 // maxCachedSnapshots bounds the decoded-snapshot cache: the serving
 // layer only ever queries the latest snapshot plus, briefly, the one it
@@ -67,6 +86,29 @@ func parseFrozenNS(ns string) (snap int, table string, ok bool) {
 		return 0, "", false
 	}
 	return snap, parts[1], true
+}
+
+// parseChainNS splits a longitudinal chain namespace into its version
+// endpoints and table name.
+func parseChainNS(ns string) (from, to int, table string, ok bool) {
+	rest, found := strings.CutPrefix(ns, "frozen/chain/")
+	if !found {
+		return 0, 0, "", false
+	}
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 {
+		return 0, 0, "", false
+	}
+	a, b, found := strings.Cut(parts[0], "-")
+	if !found {
+		return 0, 0, "", false
+	}
+	from, errA := strconv.Atoi(a)
+	to, errB := strconv.Atoi(b)
+	if errA != nil || errB != nil || from < 0 || to < 0 {
+		return 0, 0, "", false
+	}
+	return from, to, parts[1], true
 }
 
 // entry returns the cache slot for a snapshot, evicting the oldest
@@ -154,6 +196,13 @@ func (q *QuerySource) TableIndex(ns string) (*index.TableIndex, error) {
 // caller's context: cancellation is checked between records, so a route
 // deadline from the serving layer stops a scan mid-stream.
 func (q *QuerySource) ScanContext(ctx context.Context, ns string, fn func(payload []byte) error) error {
+	if strings.HasPrefix(ns, "frozen/chain/") {
+		from, to, table, ok := parseChainNS(ns)
+		if !ok {
+			return fmt.Errorf("core: malformed chain namespace %q (want frozen/chain/A-B/{companies,investors})", ns)
+		}
+		return q.scanChain(ctx, from, to, table, fn)
+	}
 	if strings.HasPrefix(ns, "frozen/") {
 		snap, table, ok := parseFrozenNS(ns)
 		if !ok {
@@ -211,6 +260,78 @@ func (q *QuerySource) scanFrozen(ctx context.Context, snap int, table string, ro
 			return fmt.Errorf("core: scan frozen snapshot %d: row %d out of %d", snap, r, len(payloads))
 		}
 		if err := emit(payloads[r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chainFor returns the marshalled diff tables for a version pair,
+// materializing both endpoints through the snapshot chain on first use.
+func (q *QuerySource) chainFor(from, to int) (map[string][][]byte, error) {
+	key := fmt.Sprintf("%d-%d", from, to)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if tables, ok := q.chains[key]; ok {
+		return tables, nil
+	}
+	c, err := LoadChain(q.Store)
+	if err != nil {
+		return nil, err
+	}
+	cd, err := c.Diff(from, to)
+	if err != nil {
+		return nil, err
+	}
+	tables := map[string][][]byte{
+		"companies": make([][]byte, len(cd.Companies)),
+		"investors": make([][]byte, len(cd.Investors)),
+	}
+	for i := range cd.Companies {
+		payload, err := json.Marshal(&cd.Companies[i])
+		if err != nil {
+			return nil, err
+		}
+		tables["companies"][i] = payload
+	}
+	for i := range cd.Investors {
+		payload, err := json.Marshal(&cd.Investors[i])
+		if err != nil {
+			return nil, err
+		}
+		tables["investors"][i] = payload
+	}
+	if q.chains == nil {
+		q.chains = make(map[string]map[string][][]byte)
+	}
+	for len(q.chainOrder) >= maxCachedChainDiffs {
+		delete(q.chains, q.chainOrder[0])
+		q.chainOrder = q.chainOrder[1:]
+	}
+	q.chains[key] = tables
+	q.chainOrder = append(q.chainOrder, key)
+	return tables, nil
+}
+
+// scanChain emits a chain-diff table's payloads under the caller's
+// context.
+func (q *QuerySource) scanChain(ctx context.Context, from, to int, table string, fn func(payload []byte) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: scan chain %d-%d: %w", from, to, err)
+	}
+	tables, err := q.chainFor(from, to)
+	if err != nil {
+		return err
+	}
+	payloads, ok := tables[table]
+	if !ok {
+		return fmt.Errorf("core: unknown chain table %q (want companies or investors)", table)
+	}
+	for _, payload := range payloads {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: scan chain %d-%d: %w", from, to, err)
+		}
+		if err := fn(payload); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,63 @@
+package crawler
+
+import (
+	"reflect"
+	"sort"
+)
+
+// RoundDiff is the raw-entity difference between two crawl rounds,
+// computed before any merging: which startups and users were added,
+// removed, or changed (augment-profile changes count as a change of the
+// startup they attach to). All lists are sorted.
+//
+// The diff is conservative on purpose: it compares the raw crawl
+// records, so an entity may be flagged changed even when the fields the
+// merged Company/Investor rows derive from are untouched. That is safe —
+// the delta builder re-merges flagged entities and compares against the
+// previous merged row before emitting an upsert — and the converse
+// (raw-unchanged but merged-changed) cannot happen because the merge is
+// a pure per-entity function of the raw records.
+type RoundDiff struct {
+	StartupsUpserted []string // added or changed
+	StartupsRemoved  []string
+	UsersUpserted    []string // added or changed
+	UsersRemoved     []string
+}
+
+// DiffRounds computes the raw-entity diff turning the prev crawl round
+// into cur.
+func DiffRounds(prev, cur *Snapshot) *RoundDiff {
+	rd := &RoundDiff{}
+	rd.StartupsUpserted, rd.StartupsRemoved = diffMaps(prev.Startups, cur.Startups, func(id string) bool {
+		return startupChanged(prev, cur, id)
+	})
+	rd.UsersUpserted, rd.UsersRemoved = diffMaps(prev.Users, cur.Users, func(id string) bool {
+		return !reflect.DeepEqual(prev.Users[id], cur.Users[id])
+	})
+	return rd
+}
+
+func diffMaps[T any](prev, cur map[string]*T, changed func(id string) bool) (upserted, removed []string) {
+	for id := range cur {
+		if _, ok := prev[id]; !ok || changed(id) {
+			upserted = append(upserted, id)
+		}
+	}
+	for id := range prev {
+		if _, ok := cur[id]; !ok {
+			removed = append(removed, id)
+		}
+	}
+	sort.Strings(upserted)
+	sort.Strings(removed)
+	return upserted, removed
+}
+
+// startupChanged reports whether the startup record or any of its
+// augmentation profiles differ between the rounds.
+func startupChanged(prev, cur *Snapshot, id string) bool {
+	return !reflect.DeepEqual(prev.Startups[id], cur.Startups[id]) ||
+		!reflect.DeepEqual(prev.CrunchBase[id], cur.CrunchBase[id]) ||
+		!reflect.DeepEqual(prev.Facebook[id], cur.Facebook[id]) ||
+		!reflect.DeepEqual(prev.Twitter[id], cur.Twitter[id])
+}

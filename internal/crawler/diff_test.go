@@ -1,0 +1,69 @@
+package crawler
+
+import (
+	"slices"
+	"testing"
+
+	"crowdscope/internal/ecosystem"
+)
+
+func diffSnap() *Snapshot {
+	return &Snapshot{
+		Startups: map[string]*ecosystem.Startup{
+			"s-keep":   {ID: "s-keep", Name: "Keep"},
+			"s-edit":   {ID: "s-edit", Name: "Edit", Raising: true},
+			"s-drop":   {ID: "s-drop", Name: "Drop"},
+			"s-social": {ID: "s-social", Name: "Social", TwitterURL: "https://tw/social"},
+		},
+		Users: map[string]*ecosystem.User{
+			"u-keep": {ID: "u-keep", Investments: []string{"s-keep"}},
+			"u-edit": {ID: "u-edit", Investments: []string{"s-keep"}},
+			"u-drop": {ID: "u-drop"},
+		},
+		Twitter: map[string]*ecosystem.TwitterProfile{
+			"s-social": {Username: "social", FollowersCount: 10},
+		},
+	}
+}
+
+// TestDiffRounds pins the raw-round diff: adds, removes, record edits,
+// and — the subtle case — augment-profile-only changes, which must flag
+// the startup they attach to even though its own record is untouched.
+func TestDiffRounds(t *testing.T) {
+	prev := diffSnap()
+	cur := diffSnap()
+
+	cur.Startups["s-edit"].Raising = false
+	delete(cur.Startups, "s-drop")
+	cur.Startups["s-new"] = &ecosystem.Startup{ID: "s-new", Name: "New"}
+	// Augment-only change: the startup record is identical, only the
+	// Twitter profile moved.
+	cur.Twitter["s-social"] = &ecosystem.TwitterProfile{Username: "social", FollowersCount: 11}
+
+	cur.Users["u-edit"].Investments = []string{"s-keep", "s-new"}
+	delete(cur.Users, "u-drop")
+	cur.Users["u-new"] = &ecosystem.User{ID: "u-new"}
+
+	rd := DiffRounds(prev, cur)
+	if want := []string{"s-edit", "s-new", "s-social"}; !slices.Equal(rd.StartupsUpserted, want) {
+		t.Fatalf("StartupsUpserted = %v, want %v", rd.StartupsUpserted, want)
+	}
+	if want := []string{"s-drop"}; !slices.Equal(rd.StartupsRemoved, want) {
+		t.Fatalf("StartupsRemoved = %v, want %v", rd.StartupsRemoved, want)
+	}
+	if want := []string{"u-edit", "u-new"}; !slices.Equal(rd.UsersUpserted, want) {
+		t.Fatalf("UsersUpserted = %v, want %v", rd.UsersUpserted, want)
+	}
+	if want := []string{"u-drop"}; !slices.Equal(rd.UsersRemoved, want) {
+		t.Fatalf("UsersRemoved = %v, want %v", rd.UsersRemoved, want)
+	}
+}
+
+// TestDiffRoundsIdentical: equal rounds diff to nothing, including when
+// pointer identity differs (DeepEqual on values, not addresses).
+func TestDiffRoundsIdentical(t *testing.T) {
+	rd := DiffRounds(diffSnap(), diffSnap())
+	if len(rd.StartupsUpserted)+len(rd.StartupsRemoved)+len(rd.UsersUpserted)+len(rd.UsersRemoved) != 0 {
+		t.Fatalf("identical rounds produced a non-empty diff: %+v", rd)
+	}
+}

@@ -3,9 +3,21 @@ package ecosystem
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"crowdscope/internal/stats"
 )
+
+// sortedKeys returns a map's keys in ascending order, so evolution walks
+// profiles in a run-independent order.
+func sortedKeys[T any](m map[string]*T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Evolve advances the world by one simulated day, for the longitudinal
 // study the paper proposes in Section 7: companies start and close
@@ -17,8 +29,12 @@ func (w *World) Evolve() {
 	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ int64(w.Day)*0x9e3779b9))
 
 	// Social engagement drift: active companies gain likes, tweets and
-	// followers; a small multiplicative daily drift with noise.
-	for _, p := range w.Facebook {
+	// followers; a small multiplicative daily drift with noise. The
+	// profile maps are walked in sorted key order — ranging the maps
+	// directly would hand each profile a different slice of the RNG
+	// stream on every run, breaking the determinism contract above.
+	for _, url := range sortedKeys(w.Facebook) {
+		p := w.Facebook[url]
 		growth := 1 + 0.01*rng.Float64()
 		p.Likes = int(float64(p.Likes)*growth) + rng.Intn(3)
 		if rng.Float64() < 0.3 {
@@ -26,7 +42,8 @@ func (w *World) Evolve() {
 		}
 	}
 	day := baseDate.AddDate(0, 0, w.Day)
-	for _, p := range w.Twitter {
+	for _, url := range sortedKeys(w.Twitter) {
+		p := w.Twitter[url]
 		p.FollowersCount = int(float64(p.FollowersCount)*(1+0.008*rng.Float64())) + rng.Intn(3)
 		if rng.Float64() < 0.5 {
 			p.StatusesCount++

@@ -91,6 +91,20 @@ func TestEvolveDeterministic(t *testing.T) {
 	if w1.Summarize() != w2.Summarize() {
 		t.Error("evolution not deterministic")
 	}
+	// Summarize aggregates coarsely; the per-profile engagement values
+	// must match too (a map-iteration-order bug once shuffled which
+	// profile consumed which RNG draw while keeping the summary stable).
+	for url, p := range w1.Facebook {
+		if q := w2.Facebook[url]; q == nil || q.Likes != p.Likes || q.RecentPosts != p.RecentPosts {
+			t.Fatalf("facebook %s diverged: %+v vs %+v", url, p, q)
+		}
+	}
+	for url, p := range w1.Twitter {
+		q := w2.Twitter[url]
+		if q == nil || q.FollowersCount != p.FollowersCount || q.StatusesCount != p.StatusesCount {
+			t.Fatalf("twitter %s diverged: %+v vs %+v", url, p, q)
+		}
+	}
 }
 
 func TestEvolveKeepsIndexesFresh(t *testing.T) {

@@ -146,7 +146,10 @@ func (q *Query) planFor(src Source) *planned {
 		return p
 	}
 	if ti == nil {
-		p.plan.Fallback = "namespace is not indexed"
+		// Name the namespace: for frozen tables it embeds the snapshot
+		// version, so "which snapshot in the chain lost its index" is
+		// answerable straight from the fallback reason.
+		p.plan.Fallback = fmt.Sprintf("namespace %s is not indexed", q.namespace)
 		return p
 	}
 	p.ti = ti

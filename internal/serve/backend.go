@@ -31,6 +31,17 @@ type Backend interface {
 	ScanRows(ctx context.Context, ns string, rows []int32, fn func(payload []byte) error) error
 }
 
+// DeltaBackend is the optional capability a Backend may add for
+// incremental hot-swaps: loading the frozen/delta-N artifact that turns
+// snapshot N-1 into N. Server.Refresh type-asserts for it when
+// DeltaRefresh is enabled and falls back to a full LoadFrozen when the
+// backend lacks it (or the delta path fails) — so existing Backend
+// implementations keep working unchanged.
+type DeltaBackend interface {
+	// LoadDelta decodes and validates the delta producing snapshot snap.
+	LoadDelta(ctx context.Context, snap int) (*core.SnapshotDelta, error)
+}
+
 // StoreBackend serves directly from a crawled store, projecting frozen
 // snapshots through core.QuerySource's virtual namespaces. The source
 // is built once and reused, so its snapshot/payload/index caches
@@ -47,17 +58,32 @@ func (b *StoreBackend) source() *core.QuerySource {
 	return b.src
 }
 
-// LatestFrozen implements Backend.
+// LatestFrozen implements Backend. It first re-reads the store manifest
+// so snapshots committed by another process (a crawler writing to the
+// store this server serves from) become visible to the refresh poll.
+// The reload is best-effort: if it fails (e.g. an embedded caller holds
+// an open writer on this handle mid-commit), the handle's current view
+// is still a consistent snapshot of the store and serving slightly
+// behind is exactly the degradation contract.
 func (b *StoreBackend) LatestFrozen(ctx context.Context) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, fmt.Errorf("serve: latest frozen: %w", err)
 	}
+	_ = b.Store.Reload() //lint:ignore errwrap best-effort refresh; the current manifest view stays valid
 	return core.LatestFrozen(b.Store)
 }
 
 // LoadFrozen implements Backend.
 func (b *StoreBackend) LoadFrozen(ctx context.Context, snap int) (*core.FrozenSnapshot, error) {
 	return core.LoadFrozenContext(ctx, b.Store, snap)
+}
+
+// LoadDelta implements DeltaBackend.
+func (b *StoreBackend) LoadDelta(ctx context.Context, snap int) (*core.SnapshotDelta, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("serve: load delta %d: %w", snap, err)
+	}
+	return core.LoadDelta(b.Store, snap)
 }
 
 // ScanContext implements Backend (and query.Source).

@@ -27,7 +27,7 @@ type FaultConfig struct {
 	// without a PerOp override.
 	Rate float64
 	// PerOp overrides the rate for one operation name ("LatestFrozen",
-	// "LoadFrozen", "Scan").
+	// "LoadFrozen", "LoadDelta", "Scan").
 	PerOp map[string]float64
 }
 
@@ -122,6 +122,22 @@ func (f *FaultyBackend) TableIndex(ns string) (*index.TableIndex, error) {
 		return nil, fmt.Errorf("%w: TableIndex(%q)", ErrInjected, ns)
 	}
 	return f.Inner.TableIndex(ns)
+}
+
+// LoadDelta implements DeltaBackend by delegating to Inner's capability;
+// wrapping preserves it, so a FaultyBackend over a StoreBackend still
+// supports delta refresh (with faults injected on the delta reads too).
+// An Inner without the capability yields an error, which Server.Refresh
+// absorbs as a fall-back to full reload.
+func (f *FaultyBackend) LoadDelta(ctx context.Context, snap int) (*core.SnapshotDelta, error) {
+	if f.decide("LoadDelta") {
+		return nil, fmt.Errorf("%w: LoadDelta(%d)", ErrInjected, snap)
+	}
+	db, ok := f.Inner.(DeltaBackend)
+	if !ok {
+		return nil, fmt.Errorf("serve: backend %T cannot load deltas", f.Inner)
+	}
+	return db.LoadDelta(ctx, snap)
 }
 
 // ScanRows implements Backend.

@@ -49,6 +49,14 @@ type Options struct {
 	// snapshot generation); default DefaultResultCacheSize, negative
 	// disables caching.
 	ResultCacheSize int
+	// DeltaRefresh makes Refresh apply frozen/delta-N artifacts onto the
+	// served snapshot in memory instead of reloading the whole artifact
+	// — the hot-swap pause scales with the round's churn, not the world
+	// size. Requires the backend to implement DeltaBackend; any delta
+	// failure (missing artifact, fault, conflict) silently falls back to
+	// a full reload. Generation-keyed caches invalidate identically on
+	// both paths.
+	DeltaRefresh bool
 	// Logf, when set, receives operational log lines — notably the
 	// planner's scan-fallback reasons. Nil silences them.
 	Logf func(format string, args ...any)
@@ -109,6 +117,9 @@ type Server struct {
 	shed     atomic.Int64
 	served   atomic.Int64
 	degraded atomic.Int64
+
+	deltaRefreshes atomic.Int64 // hot-swaps served by applying deltas in memory
+	fullReloads    atomic.Int64 // hot-swaps that loaded the whole artifact
 
 	results *resultCache
 	stmts   *stmtCache
@@ -184,8 +195,12 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Refresh observes the store's newest frozen snapshot and, when the
-// cache lags it (or is empty), loads it through the breaker and swaps
-// it in as last-good. On any failure the previous snapshot keeps
+// cache lags it (or is empty), brings the cache up to it and swaps the
+// result in as last-good. With DeltaRefresh enabled and a DeltaBackend,
+// it first tries to roll the served snapshot forward by applying the
+// intervening frozen/delta-N artifacts in memory; on any delta failure
+// — or without the capability — it loads the whole artifact through
+// the breaker as before. On any failure the previous snapshot keeps
 // serving and the cache is marked stale.
 func (s *Server) Refresh(ctx context.Context) error {
 	var latest int
@@ -199,7 +214,14 @@ func (s *Server) Refresh(ctx context.Context) error {
 		return fmt.Errorf("serve: refresh: %w", err)
 	}
 	s.cache.observeLatest(latest)
-	if cur, _ := s.cache.get(); cur != nil && cur.Snapshot >= latest {
+	cur, _ := s.cache.get()
+	if cur != nil && cur.Snapshot >= latest {
+		return nil
+	}
+	if fs, ok := s.refreshViaDeltas(ctx, cur, latest); ok {
+		s.cache.swap(fs)
+		s.hotSwapReset(fs.Snapshot)
+		s.deltaRefreshes.Add(1)
 		return nil
 	}
 	var fs *core.FrozenSnapshot
@@ -214,7 +236,43 @@ func (s *Server) Refresh(ctx context.Context) error {
 	}
 	s.cache.swap(fs)
 	s.hotSwapReset(fs.Snapshot)
+	s.fullReloads.Add(1)
 	return nil
+}
+
+// refreshViaDeltas rolls cur forward to latest by loading each
+// intervening delta through the breaker and applying it in memory.
+// ok is false whenever the incremental path cannot produce latest —
+// delta refresh disabled, no capability, nothing served yet, or any
+// load/apply failure — and the caller falls back to a full reload
+// (logged, not surfaced: the artifacts are equivalent by construction).
+func (s *Server) refreshViaDeltas(ctx context.Context, cur *core.FrozenSnapshot, latest int) (*core.FrozenSnapshot, bool) {
+	if !s.opts.DeltaRefresh || cur == nil {
+		return nil, false
+	}
+	db, ok := s.backend.(DeltaBackend)
+	if !ok {
+		return nil, false
+	}
+	fs := cur
+	for v := fs.Snapshot + 1; v <= latest; v++ {
+		var sd *core.SnapshotDelta
+		err := s.breaker.Do(ctx, func(ctx context.Context) error {
+			var err error
+			sd, err = db.LoadDelta(ctx, v)
+			return err
+		})
+		if err == nil {
+			fs, err = core.ApplyDelta(fs, sd)
+		}
+		if err != nil {
+			if s.opts.Logf != nil {
+				s.opts.Logf("serve: delta refresh to %d failed at %d, falling back to full reload: %v", latest, v, err)
+			}
+			return nil, false
+		}
+	}
+	return fs, true
 }
 
 // hotSwapReset drops per-snapshot derived state after a snapshot swap:
@@ -329,6 +387,8 @@ type Status struct {
 	BreakerTrips       int64            `json:"breaker_trips"`
 	Snapshot           int              `json:"snapshot"`
 	Stale              bool             `json:"stale"`
+	DeltaRefreshes     int64            `json:"delta_refreshes"`
+	FullReloads        int64            `json:"full_reloads"`
 	Draining           bool             `json:"draining"`
 	CacheHits          int64            `json:"result_cache_hits"`
 	CacheMisses        int64            `json:"result_cache_misses"`
@@ -345,10 +405,12 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Shed:         s.shed.Load(),
 		Served:       s.served.Load(),
 		Degraded:     s.degraded.Load(),
-		BreakerState: s.breaker.State().String(),
-		BreakerTrips: s.breaker.Trips(),
-		Snapshot:     -1,
-		Draining:     s.draining.Load(),
+		BreakerState:   s.breaker.State().String(),
+		BreakerTrips:   s.breaker.Trips(),
+		Snapshot:       -1,
+		DeltaRefreshes: s.deltaRefreshes.Load(),
+		FullReloads:    s.fullReloads.Load(),
+		Draining:       s.draining.Load(),
 	}
 	if fs, stale := s.cache.get(); fs != nil {
 		st.Snapshot = fs.Snapshot

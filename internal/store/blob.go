@@ -19,6 +19,9 @@ import (
 // checksum. Replacement is atomic at the manifest level: readers holding
 // the old blob keep it (old files are removed only after commit).
 func (s *Store) PutBlob(ns string, format int, data []byte) error {
+	if s.readOnly {
+		return fmt.Errorf("store: namespace %q: handle is read-only", ns)
+	}
 	if err := validNamespace(ns); err != nil {
 		return err
 	}

@@ -19,7 +19,8 @@ const DefaultSegmentBytes = 8 << 20
 // A Store is safe for concurrent use; each namespace admits one open
 // Writer at a time while any number of readers scan committed data.
 type Store struct {
-	dir string
+	dir      string
+	readOnly bool
 
 	mu       sync.Mutex
 	manifest *manifest
@@ -32,6 +33,21 @@ type Store struct {
 
 // Open opens (creating if necessary) a store rooted at dir.
 func Open(dir string) (*Store, error) {
+	return open(dir, false)
+}
+
+// OpenReadOnly opens a store for reading only: Writer, PutBlob and
+// Compact are rejected, and the crash-debris sweep is skipped. The
+// sweep makes read-only opens safe to run concurrently with a live
+// writer process (e.g. crowdserve polling a store a crawler is still
+// appending to): a writing handle's Open would delete the other
+// process's in-flight *.tmp manifest commit and uncommitted segment
+// files as crash leftovers, corrupting the writer mid-commit.
+func OpenReadOnly(dir string) (*Store, error) {
+	return open(dir, true)
+}
+
+func open(dir string, readOnly bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
@@ -39,15 +55,39 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := sweepOrphans(dir, m); err != nil {
-		return nil, err
+	if !readOnly {
+		if err := sweepOrphans(dir, m); err != nil {
+			return nil, err
+		}
 	}
 	return &Store{
 		dir:          dir,
+		readOnly:     readOnly,
 		manifest:     m,
 		writers:      map[string]bool{},
 		SegmentBytes: DefaultSegmentBytes,
 	}, nil
+}
+
+// Reload re-reads the manifest from disk, making namespaces committed by
+// other processes (e.g. a crawler appending to a store a server is
+// serving from) visible to this handle. It is a reader-side API: a
+// handle with open writers refuses to reload, because the fresh
+// manifest would race the writers' pending commits. Data files are
+// immutable once committed, so readers resolved against the old
+// manifest stay valid across a reload.
+func (s *Store) Reload() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.writers) > 0 {
+		return fmt.Errorf("store: reload: %d namespaces have open writers", len(s.writers))
+	}
+	m, err := loadManifest(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: reload: %w", err)
+	}
+	s.manifest = m
+	return nil
 }
 
 // sweepOrphans removes the debris a crash mid-commit can leave behind:
@@ -139,6 +179,9 @@ type Writer struct {
 // Writer opens an appender for the namespace. It returns an error if a
 // writer is already open for it.
 func (s *Store) Writer(ns string) (*Writer, error) {
+	if s.readOnly {
+		return nil, fmt.Errorf("store: namespace %q: handle is read-only", ns)
+	}
 	if err := validNamespace(ns); err != nil {
 		return nil, err
 	}
@@ -380,6 +423,9 @@ func (s *Store) Stats(ns string) (NamespaceStats, error) {
 // overhead after many small flushes. Concurrent readers holding the old
 // snapshot keep working because old files are removed only after commit.
 func (s *Store) Compact(ns string) error {
+	if s.readOnly {
+		return fmt.Errorf("store: namespace %q: handle is read-only", ns)
+	}
 	segs, err := s.snapshot(ns)
 	if err != nil {
 		return err

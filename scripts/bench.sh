@@ -7,6 +7,9 @@
 #   - BENCH_PR6.json: query-route p50/p99 for the scan path vs. the
 #     secondary-index path vs. a result-cache hit, with the cache hit
 #     ratio and the computed p99 speedups.
+#   - BENCH_PR7.json: delta-apply vs full-refreeze wall-clock for one
+#     crawl round's frozen artifact, and the serving hot-swap pause for
+#     the delta-refresh vs full-reload paths.
 #
 # Usage: scripts/bench.sh [count]   (default 3 benchmark iterations)
 set -euo pipefail
@@ -135,3 +138,42 @@ awk '
 
 cat "$OUT6"
 echo "wrote $OUT6"
+
+# ---- PR 7: delta snapshots ----
+OUT7=BENCH_PR7.json
+RAW7=$(mktemp)
+trap 'rm -f "$RAW" "$RAW5" "$RAW6" "$RAW7"' EXIT
+
+go test -run '^$' -bench '^BenchmarkDeltaCommit$' -benchtime "${COUNT}x" . | tee "$RAW7"
+go test -run '^$' -bench '^BenchmarkHotSwapPause$' -benchtime 20x ./internal/serve | tee -a "$RAW7"
+
+awk -v count="$COUNT" '
+  function metric(name,   i) {
+    for (i = 1; i <= NF; i++) if ($i == name) return $(i - 1)
+    return ""
+  }
+  /^BenchmarkDeltaCommit\/full-refreeze/ { full_ns = $3 }
+  /^BenchmarkDeltaCommit\/delta-apply/   { delta_ns = $3; upserts = metric("upserts") }
+  /^BenchmarkDeltaCommit\/speedup/       { speedup = metric("x_speedup") }
+  /^BenchmarkHotSwapPause\/delta-refresh/ { swap_delta_ms = metric("swap_pause_ms") }
+  /^BenchmarkHotSwapPause\/full-reload/   { swap_full_ms = metric("swap_pause_ms") }
+  END {
+    if (full_ns == "" || delta_ns == "" || speedup == "" || swap_delta_ms == "" || swap_full_ms == "") {
+      print "bench: missing delta benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    printf "{\n"
+    printf "  \"benchmark\": \"DeltaSnapshots\",\n"
+    printf "  \"iterations\": %d,\n", count
+    printf "  \"full_refreeze_ns_per_op\": %s,\n", full_ns
+    printf "  \"delta_apply_ns_per_op\": %s,\n", delta_ns
+    printf "  \"delta_upserts\": %s,\n", upserts
+    printf "  \"delta_vs_refreeze_speedup\": %s,\n", speedup
+    printf "  \"hot_swap_pause_delta_ms\": %s,\n", swap_delta_ms
+    printf "  \"hot_swap_pause_full_ms\": %s\n", swap_full_ms
+    printf "}\n"
+  }
+' "$RAW7" > "$OUT7"
+
+cat "$OUT7"
+echo "wrote $OUT7"

@@ -38,6 +38,13 @@ go test -race -run 'Chaos' ./internal/serve
 # fallback — with no races in the lazy index-load/result-cache paths.
 go test -race -run 'TestIndexRouteMatchesScanRouteProperty|TestCorruptIndexBlobFailsLoudly|TestIndexedRouteBodiesMatchScanRoute' ./internal/core ./internal/serve
 
+# Delta==refreeze equivalence under the race detector: incremental
+# delta-applied snapshots and their indexes must stay bit-identical to a
+# full refreeze at every round (64/512/4096-entity worlds, multiple
+# seeds), crash-interrupted chains must recover to the fault-free bytes,
+# and the crawl-diff fast path must agree with the full re-merge.
+go test -race -run 'TestDeltaRefreezeEquivalenceProperty|TestRecoverChainAfterCrash|TestDiffCrawlFastSlowAgree' ./internal/core
+
 # Per-package coverage floors (percent).
 check_coverage() {
   local pkg="$1" floor="$2" out pct
@@ -73,3 +80,7 @@ check_coverage ./internal/serve 70
 # postings, orderings and the persisted codec must stay exhaustively
 # tested or silent wrong answers become possible.
 check_coverage ./internal/index 70
+# The snapshot container carries the frozen artifacts AND the delta
+# artifacts; its codec and the delta apply kernel are the foundation of
+# the delta==refreeze byte-identity guarantee.
+check_coverage ./internal/snapshot 70
