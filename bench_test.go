@@ -64,7 +64,7 @@ func fixture(b *testing.B) (*Pipeline, *crawler.Snapshot, *Analysis) {
 			benchErr = err
 			return
 		}
-		a, err := p.Analyze(-1)
+		a, err := p.Analyze(context.Background(), -1)
 		if err != nil {
 			benchErr = err
 			return
@@ -315,7 +315,7 @@ func BenchmarkE10Longitudinal(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	a, err := p.Analyze(-1)
+	a, err := p.Analyze(context.Background(), -1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -706,11 +706,11 @@ func BenchmarkDeltaCommit(b *testing.B) {
 		}
 	}
 	fullRefreeze := func() *core.FrozenSnapshot {
-		companies, err := core.LoadCompanies(p.Store, 1)
+		companies, err := core.LoadCompanies(context.Background(), p.Store, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		investors, err := core.LoadInvestors(p.Store, 1)
+		investors, err := core.LoadInvestors(context.Background(), p.Store, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -769,7 +769,7 @@ func BenchmarkDeltaCommit(b *testing.B) {
 // cycle, reporting held-out AUC.
 func BenchmarkE11Prediction(b *testing.B) {
 	p, _, a := fixture(b)
-	followers, err := core.LoadCompanyFollowerCounts(p.Store, -1)
+	followers, err := core.LoadCompanyFollowerCounts(context.Background(), p.Store, -1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -807,12 +807,12 @@ func BenchmarkE12E13Longitudinal(b *testing.B) {
 		if _, err := p.Crawl(context.Background(), 1); err != nil {
 			b.Fatal(err)
 		}
-		caus, err := core.RunCausality(p.Store, 0, 1)
+		caus, err := core.RunCausality(context.Background(), p.Store, 0, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
 		k := p.World.Cfg.NumCommunities()
-		dyn, err := core.RunDynamics(p.Store, 0, 1, 4, k, 42)
+		dyn, err := core.RunDynamics(context.Background(), p.Store, 0, 1, 4, k, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -842,11 +842,11 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 		b.Fatal("fixture crawl did not emit a frozen snapshot")
 	}
 	jsonRebuild := func() *graph.Bipartite {
-		companies, err := core.LoadCompanies(p.Store, 0)
+		companies, err := core.LoadCompanies(context.Background(), p.Store, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		investors, err := core.LoadInvestors(p.Store, 0)
+		investors, err := core.LoadInvestors(context.Background(), p.Store, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -60,9 +60,9 @@ func main() {
 		} else {
 			fmt.Printf("rebuilt frozen snapshot %d from raw JSON\n", s)
 		}
-		a, err = p.AnalyzeRebuild(-1)
+		a, err = p.AnalyzeRebuild(context.Background(), -1)
 	} else {
-		a, err = p.Analyze(-1)
+		a, err = p.Analyze(context.Background(), -1)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -207,7 +207,7 @@ func main() {
 	}
 	if want("e11") {
 		fmt.Println("== E11: success prediction from graph + engagement features (paper §7) ==")
-		followers, err := core.LoadCompanyFollowerCounts(p.Store, -1)
+		followers, err := core.LoadCompanyFollowerCounts(context.Background(), p.Store, -1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -231,7 +231,7 @@ func main() {
 	}
 	if want("e12") {
 		fmt.Println("== E12: causality analysis over 45 simulated days (paper §7) ==")
-		res, err := core.RunCausality(p.Store, 0, 1)
+		res, err := core.RunCausality(context.Background(), p.Store, 0, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -244,7 +244,7 @@ func main() {
 	if want("e13") {
 		fmt.Println("== E13: community dynamics across snapshots (paper §7) ==")
 		k := p.World.Cfg.NumCommunities()
-		res, err := core.RunDynamics(p.Store, 0, 1, 4, k, *seed)
+		res, err := core.RunDynamics(context.Background(), p.Store, 0, 1, 4, k, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -41,7 +41,7 @@ func main() {
 	if _, err := p.Crawl(context.Background(), 0); err != nil {
 		log.Fatal(err)
 	}
-	a, err := p.Analyze(-1)
+	a, err := p.Analyze(context.Background(), -1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -189,7 +189,7 @@ func (p *Pipeline) Crawl(ctx context.Context, snapshot int) (*crawler.Snapshot, 
 			Resume:    p.Config.Resume,
 		}
 		if p.Config.Resume {
-			if cp, ok, err := crawler.LoadCheckpoint(p.Store, ns); err != nil {
+			if cp, ok, err := crawler.LoadCheckpoint(ctx, p.Store, ns); err != nil {
 				return nil, err
 			} else if ok && cp.Phase == crawler.PhasePersisted {
 				alreadyPersisted = true
@@ -291,34 +291,35 @@ func (p *Pipeline) AdvanceDays(days int) {
 // analysis suite. When the snapshot has a frozen artifact, entities and
 // the bipartite graph come straight from its columns (no JSON decoding,
 // no joins, no adjacency rebuild); otherwise it falls back to the JSON
-// path. Both paths produce bit-identical analyses.
-func (p *Pipeline) Analyze(snapshot int) (*Analysis, error) {
+// path. Both paths produce bit-identical analyses. The context bounds
+// the store reads; the analysis kernels themselves are pure CPU.
+func (p *Pipeline) Analyze(ctx context.Context, snapshot int) (*Analysis, error) {
 	snap := snapshot
 	if snap < 0 {
-		if s, err := core.LatestSnapshot(p.Store); err == nil {
+		if s, err := core.LatestSnapshot(ctx, p.Store); err == nil {
 			snap = s
 		}
 	}
 	if snap >= 0 && core.HasFrozen(p.Store, snap) {
-		fs, err := core.LoadFrozen(p.Store, snap)
+		fs, err := core.LoadFrozenContext(ctx, p.Store, snap)
 		if err != nil {
 			return nil, err
 		}
 		return p.analyze(fs.Companies, fs.Investors, fs.Graph)
 	}
-	return p.AnalyzeRebuild(snapshot)
+	return p.AnalyzeRebuild(ctx, snapshot)
 }
 
 // AnalyzeRebuild is Analyze forced down the raw-JSON path: merge joins
 // over the crawled namespaces and a fresh graph build, ignoring any
 // frozen artifact. It backs the -rebuild-snapshot escape hatch and the
 // frozen-equivalence tests.
-func (p *Pipeline) AnalyzeRebuild(snapshot int) (*Analysis, error) {
-	companies, err := core.LoadCompanies(p.Store, snapshot)
+func (p *Pipeline) AnalyzeRebuild(ctx context.Context, snapshot int) (*Analysis, error) {
+	companies, err := core.LoadCompanies(ctx, p.Store, snapshot)
 	if err != nil {
 		return nil, err
 	}
-	investors, err := core.LoadInvestors(p.Store, snapshot)
+	investors, err := core.LoadInvestors(ctx, p.Store, snapshot)
 	if err != nil {
 		return nil, err
 	}

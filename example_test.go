@@ -20,7 +20,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := p.Analyze(-1)
+	a, err := p.Analyze(context.Background(), -1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,7 +29,7 @@ func main() {
 
 	// Build the bipartite investor graph and filter to investors with at
 	// least 4 investments, exactly as the paper does before detection.
-	investors, err := core.LoadInvestors(p.Store, -1)
+	investors, err := core.LoadInvestors(context.Background(), p.Store, -1)
 	if err != nil {
 		log.Fatal(err)
 	}

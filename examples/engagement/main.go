@@ -54,7 +54,7 @@ func runStudy(seed int64, mutate func(*ecosystem.Config)) {
 	if _, err := p.Crawl(context.Background(), 0); err != nil {
 		log.Fatal(err)
 	}
-	companies, err := core.LoadCompanies(p.Store, -1)
+	companies, err := core.LoadCompanies(context.Background(), p.Store, -1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,11 +30,11 @@ func main() {
 		if _, err := p.Crawl(ctx, s); err != nil {
 			log.Fatal(err)
 		}
-		companies, err := core.LoadCompanies(p.Store, s)
+		companies, err := core.LoadCompanies(ctx, p.Store, s)
 		if err != nil {
 			log.Fatal(err)
 		}
-		investors, err := core.LoadInvestors(p.Store, s)
+		investors, err := core.LoadInvestors(ctx, p.Store, s)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -25,15 +25,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	companies, err := core.LoadCompanies(p.Store, -1)
+	companies, err := core.LoadCompanies(context.Background(), p.Store, -1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	investors, err := core.LoadInvestors(p.Store, -1)
+	investors, err := core.LoadInvestors(context.Background(), p.Store, -1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	followers, err := core.LoadCompanyFollowerCounts(p.Store, -1)
+	followers, err := core.LoadCompanyFollowerCounts(context.Background(), p.Store, -1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func main() {
 
 	// Run the analyses: the engagement table, the investor graph and the
 	// community detection pipeline.
-	a, err := p.Analyze(-1)
+	a, err := p.Analyze(context.Background(), -1)
 	if err != nil {
 		log.Fatal(err)
 	}

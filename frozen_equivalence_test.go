@@ -30,11 +30,11 @@ func TestFrozenAnalysisEquivalence(t *testing.T) {
 		t.Fatal("crawl did not emit a frozen snapshot")
 	}
 
-	frozen, err := p.Analyze(-1)
+	frozen, err := p.Analyze(context.Background(), -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rebuilt, err := p.AnalyzeRebuild(-1)
+	rebuilt, err := p.AnalyzeRebuild(context.Background(), -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestFrozenAnalysisEquivalence(t *testing.T) {
 	if snap, err := p.RebuildSnapshot(context.Background(), -1); err != nil || snap != 0 {
 		t.Fatalf("RebuildSnapshot = %d, %v", snap, err)
 	}
-	again, err := p.Analyze(-1)
+	again, err := p.Analyze(context.Background(), -1)
 	if err != nil {
 		t.Fatal(err)
 	}

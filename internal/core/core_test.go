@@ -59,7 +59,7 @@ func TestMain(m *testing.M) {
 }
 
 func TestLatestSnapshot(t *testing.T) {
-	n, err := LatestSnapshot(fixStore)
+	n, err := LatestSnapshot(context.Background(), fixStore)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,13 +67,13 @@ func TestLatestSnapshot(t *testing.T) {
 		t.Fatalf("latest snapshot = %d", n)
 	}
 	empty, _ := store.Open(t.TempDir())
-	if _, err := LatestSnapshot(empty); err == nil {
+	if _, err := LatestSnapshot(context.Background(), empty); err == nil {
 		t.Fatal("expected error on empty store")
 	}
 }
 
 func TestLoadCompaniesMerge(t *testing.T) {
-	companies, err := LoadCompanies(fixStore, -1)
+	companies, err := LoadCompanies(context.Background(), fixStore, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestLoadCompaniesMerge(t *testing.T) {
 }
 
 func TestLoadInvestors(t *testing.T) {
-	investors, err := LoadInvestors(fixStore, -1)
+	investors, err := LoadInvestors(context.Background(), fixStore, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestLoadInvestors(t *testing.T) {
 }
 
 func TestEngagementTableShape(t *testing.T) {
-	companies, err := LoadCompanies(fixStore, -1)
+	companies, err := LoadCompanies(context.Background(), fixStore, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestLiftErrors(t *testing.T) {
 }
 
 func TestInvestorGraphStats(t *testing.T) {
-	investors, _ := LoadInvestors(fixStore, -1)
+	investors, _ := LoadInvestors(context.Background(), fixStore, -1)
 	b := BuildInvestorGraph(investors)
 	st := InvestorGraphStats(b)
 	if st.Investors != len(investors) {
@@ -237,7 +237,7 @@ func TestInvestorGraphStats(t *testing.T) {
 }
 
 func TestRunFig3(t *testing.T) {
-	investors, _ := LoadInvestors(fixStore, -1)
+	investors, _ := LoadInvestors(context.Background(), fixStore, -1)
 	res := RunFig3(investors)
 	if res.Median != 1 {
 		t.Errorf("median = %g, paper: 1", res.Median)
@@ -278,7 +278,7 @@ func communities(t *testing.T) *CommunitiesResult {
 	if commFix != nil {
 		return commFix
 	}
-	investors, err := LoadInvestors(fixStore, -1)
+	investors, err := LoadInvestors(context.Background(), fixStore, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestRunFig4(t *testing.T) {
 	// via means: strongest community avg shared must far exceed the
 	// global average.
 	var globalMean float64 // approximate from CDF via the sample mean of points is wrong; recompute
-	investorsGlobal, _ := LoadInvestors(fixStore, -1)
+	investorsGlobal, _ := LoadInvestors(context.Background(), fixStore, -1)
 	_ = investorsGlobal
 	globalMean = res.AvgShared[0] // placeholder guard below
 	if res.AvgShared[0] <= 0 {

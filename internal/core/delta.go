@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strings"
 
 	"crowdscope/internal/snapshot"
 	"crowdscope/internal/store"
@@ -267,17 +268,46 @@ func mergeSorted[T any](kind string, base []T, id func(T) string, upserts []T, d
 	return out, nil
 }
 
+// graphNeutral reports whether applying sd leaves the investment CSR
+// untouched: no investor tombstones, and every investor upsert replaces
+// an existing investor with an identical investment row. Between-crawl
+// churn is mostly engagement counters (likes, tweets, follow counts)
+// that never reach the graph, so this is the common case — and the CSR
+// rebuild is the dominant cost of an apply, O(world) regardless of how
+// small the delta is.
+func graphNeutral(prev *FrozenSnapshot, sd *SnapshotDelta) bool {
+	if prev.Graph == nil || len(sd.InvestorDrops) > 0 {
+		return false
+	}
+	for _, up := range sd.InvestorUpserts {
+		i, ok := slices.BinarySearchFunc(prev.Investors, up.ID, func(v Investor, id string) int {
+			return strings.Compare(v.ID, id)
+		})
+		if !ok || !slices.Equal(prev.Investors[i].Investments, up.Investments) {
+			return false
+		}
+	}
+	return true
+}
+
 // ApplyDelta applies a delta onto its base snapshot, producing the
 // target snapshot in memory: entity lists via a sorted merge, the
 // bipartite graph via the snapshot package's CSR apply kernel over the
 // retained rows (which alias the base artifact's columns) plus the
 // upserted ones. The result is bit-identical to a full refreeze of the
 // target round.
+//
+// When the delta is graph-neutral — counter churn only, no investment
+// row touched — the base snapshot's graph is reused as-is instead of
+// being rebuilt. The frozen graph is immutable after construction, so
+// sharing the pointer is safe, and the reuse is exactly what makes the
+// delta hot-swap path cheaper than a full artifact reload.
 func ApplyDelta(prev *FrozenSnapshot, sd *SnapshotDelta) (*FrozenSnapshot, error) {
 	if prev.Snapshot != sd.Base {
 		return nil, fmt.Errorf("%w: delta %d->%d applied to snapshot %d",
 			ErrDeltaConflict, sd.Base, sd.Target, prev.Snapshot)
 	}
+	neutral := graphNeutral(prev, sd)
 	companies, err := mergeSorted("company", prev.Companies, func(c Company) string { return c.ID },
 		sd.CompanyUpserts, sd.CompanyDrops)
 	if err != nil {
@@ -288,13 +318,16 @@ func ApplyDelta(prev *FrozenSnapshot, sd *SnapshotDelta) (*FrozenSnapshot, error
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]snapshot.AdjacencyRow, len(investors))
-	for i, inv := range investors {
-		rows[i] = snapshot.AdjacencyRow{Left: inv.ID, Rights: inv.Investments}
-	}
-	g, err := snapshot.ApplyBipartite(rows)
-	if err != nil {
-		return nil, fmt.Errorf("core: apply delta %d->%d: %w", sd.Base, sd.Target, err)
+	g := prev.Graph
+	if !neutral {
+		rows := make([]snapshot.AdjacencyRow, len(investors))
+		for i, inv := range investors {
+			rows[i] = snapshot.AdjacencyRow{Left: inv.ID, Rights: inv.Investments}
+		}
+		g, err = snapshot.ApplyBipartite(rows)
+		if err != nil {
+			return nil, fmt.Errorf("core: apply delta %d->%d: %w", sd.Base, sd.Target, err)
+		}
 	}
 	return &FrozenSnapshot{
 		Snapshot:  sd.Target,

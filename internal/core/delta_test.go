@@ -405,6 +405,80 @@ func TestApplyDeltaConflicts(t *testing.T) {
 	})
 }
 
+// TestApplyDeltaGraphNeutral: a delta that never touches an investment
+// row must reuse the base snapshot's frozen graph outright (the CSR
+// rebuild is the dominant apply cost), while any delta that does touch
+// one must rebuild — and in both cases the result must encode the same
+// bytes as a full refreeze of the target.
+func TestApplyDeltaGraphNeutral(t *testing.T) {
+	_, world := newWorldGen(7, 64)
+
+	t.Run("counter churn reuses the graph", func(t *testing.T) {
+		up := world.Investors[3]
+		up.Follows += 100
+		co := world.Companies[5]
+		co.Likes += 9
+		sd := &SnapshotDelta{Base: 0, Target: 1,
+			CompanyUpserts: []Company{co}, InvestorUpserts: []Investor{up}}
+		next, err := ApplyDelta(world, sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Graph != world.Graph {
+			t.Fatal("graph-neutral delta rebuilt the CSR instead of reusing it")
+		}
+		if next.Investors[3].Follows != up.Follows || next.Companies[5].Likes != co.Likes {
+			t.Fatal("upserts not applied")
+		}
+	})
+	t.Run("investment change rebuilds", func(t *testing.T) {
+		up := world.Investors[3]
+		up.Investments = append([]string{world.Companies[0].ID}, up.Investments...)
+		sd := &SnapshotDelta{Base: 0, Target: 1, InvestorUpserts: []Investor{up}}
+		next, err := ApplyDelta(world, sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Graph == world.Graph {
+			t.Fatal("investment-touching delta must rebuild the graph")
+		}
+		want := graph.FreezeBipartite(BuildInvestorGraph(next.Investors))
+		a, err := EncodeFrozen(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := EncodeFrozen(&FrozenSnapshot{Snapshot: 1, Companies: next.Companies, Investors: next.Investors, Graph: want})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatal("rebuilt graph diverges from a full refreeze")
+		}
+	})
+	t.Run("new investor rebuilds", func(t *testing.T) {
+		sd := &SnapshotDelta{Base: 0, Target: 1, InvestorUpserts: []Investor{
+			{ID: "zz-new", Investments: []string{world.Companies[0].ID}},
+		}}
+		next, err := ApplyDelta(world, sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Graph == world.Graph {
+			t.Fatal("delta adding an investor must rebuild the graph")
+		}
+	})
+	t.Run("investor drop rebuilds", func(t *testing.T) {
+		sd := &SnapshotDelta{Base: 0, Target: 1, InvestorDrops: []string{world.Investors[0].ID}}
+		next, err := ApplyDelta(world, sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Graph == world.Graph {
+			t.Fatal("delta dropping an investor must rebuild the graph")
+		}
+	})
+}
+
 // TestRecoverChainAfterCrash is the chaos gate for the delta commit
 // protocol: a crash between persisting the delta blob and committing
 // the applied snapshot (plus orphaned .tmp litter, reusing the store's

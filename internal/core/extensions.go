@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,15 +25,16 @@ import (
 // LoadCompanyFollowerCounts aggregates, per startup, how many AngelList
 // users follow it — a dataflow flatMap + countByKey over the whole user
 // snapshot (the "node degree in the AngelList network" feature of §7).
-func LoadCompanyFollowerCounts(st *store.Store, snapshot int) (map[string]int, error) {
+// The context bounds the user scan.
+func LoadCompanyFollowerCounts(ctx context.Context, st *store.Store, snapshot int) (map[string]int, error) {
 	if snapshot < 0 {
 		var err error
-		snapshot, err = LatestSnapshot(st)
+		snapshot, err = LatestSnapshot(ctx, st)
 		if err != nil {
 			return nil, err
 		}
 	}
-	users, err := readSnapshot[crawler.UserRecord](st, crawler.NSUsers, snapshot, func(r crawler.UserRecord) int { return r.Snapshot })
+	users, err := readSnapshot[crawler.UserRecord](ctx, st, crawler.NSUsers, snapshot, func(r crawler.UserRecord) int { return r.Snapshot })
 	if err != nil {
 		return nil, err
 	}
@@ -157,12 +159,12 @@ type CausalityResult struct {
 // growth between the snapshots is associated with converting to funded —
 // the study the paper's §7 proposes (observational, so "causality" in the
 // paper's Granger-style sense of temporal precedence).
-func RunCausality(st *store.Store, snapA, snapB int) (*CausalityResult, error) {
-	before, err := snapshotCompanies(st, snapA)
+func RunCausality(ctx context.Context, st *store.Store, snapA, snapB int) (*CausalityResult, error) {
+	before, err := snapshotCompanies(ctx, st, snapA)
 	if err != nil {
 		return nil, err
 	}
-	after, err := snapshotCompanies(st, snapB)
+	after, err := snapshotCompanies(ctx, st, snapB)
 	if err != nil {
 		return nil, err
 	}
@@ -231,9 +233,9 @@ type DynamicsResult struct {
 
 // RunDynamics detects communities in both snapshots (membership expressed
 // as stable user IDs) and tracks formation/disbanding between them.
-func RunDynamics(st *store.Store, snapA, snapB, minDeg, k int, seed int64) (*DynamicsResult, error) {
+func RunDynamics(ctx context.Context, st *store.Store, snapA, snapB, minDeg, k int, seed int64) (*DynamicsResult, error) {
 	labeled := func(snap int) ([][]string, error) {
-		b, err := snapshotInvestorGraph(st, snap)
+		b, err := snapshotInvestorGraph(ctx, st, snap)
 		if err != nil {
 			return nil, err
 		}
@@ -270,29 +272,29 @@ func RunDynamics(st *store.Store, snapA, snapB, minDeg, k int, seed int64) (*Dyn
 
 // snapshotCompanies loads the snapshot's merged companies, from the
 // frozen artifact when one exists (identical result, no JSON merge).
-func snapshotCompanies(st *store.Store, snap int) ([]Company, error) {
+func snapshotCompanies(ctx context.Context, st *store.Store, snap int) ([]Company, error) {
 	if snap >= 0 && HasFrozen(st, snap) {
-		fs, err := LoadFrozen(st, snap)
+		fs, err := LoadFrozenContext(ctx, st, snap)
 		if err != nil {
 			return nil, err
 		}
 		return fs.Companies, nil
 	}
-	return LoadCompanies(st, snap)
+	return LoadCompanies(ctx, st, snap)
 }
 
 // snapshotInvestorGraph returns the snapshot's investment bipartite
 // graph as a read-only view, loaded from the frozen artifact's CSR
 // columns when one exists and rebuilt from JSON otherwise.
-func snapshotInvestorGraph(st *store.Store, snap int) (graph.BipartiteView, error) {
+func snapshotInvestorGraph(ctx context.Context, st *store.Store, snap int) (graph.BipartiteView, error) {
 	if snap >= 0 && HasFrozen(st, snap) {
-		fs, err := LoadFrozen(st, snap)
+		fs, err := LoadFrozenContext(ctx, st, snap)
 		if err != nil {
 			return nil, err
 		}
 		return fs.Graph, nil
 	}
-	investors, err := LoadInvestors(st, snap)
+	investors, err := LoadInvestors(ctx, st, snap)
 	if err != nil {
 		return nil, err
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 func TestLoadCompanyFollowerCounts(t *testing.T) {
-	counts, err := LoadCompanyFollowerCounts(fixStore, -1)
+	counts, err := LoadCompanyFollowerCounts(context.Background(), fixStore, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,15 +35,15 @@ func TestLoadCompanyFollowerCounts(t *testing.T) {
 }
 
 func TestBuildFeaturesAndPrediction(t *testing.T) {
-	companies, err := LoadCompanies(fixStore, -1)
+	companies, err := LoadCompanies(context.Background(), fixStore, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	investors, err := LoadInvestors(fixStore, -1)
+	investors, err := LoadInvestors(context.Background(), fixStore, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	followers, err := LoadCompanyFollowerCounts(fixStore, -1)
+	followers, err := LoadCompanyFollowerCounts(context.Background(), fixStore, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func longitudinalStore(t *testing.T) (*store.Store, *ecosystem.World) {
 func TestCausalityAndDynamics(t *testing.T) {
 	st, w := longitudinalStore(t)
 
-	res, err := RunCausality(st, 0, 1)
+	res, err := RunCausality(context.Background(), st, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestCausalityAndDynamics(t *testing.T) {
 	}
 
 	k := w.Cfg.NumCommunities()
-	dyn, err := RunDynamics(st, 0, 1, 4, k, 99)
+	dyn, err := RunDynamics(context.Background(), st, 0, 1, 4, k, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,13 +177,13 @@ func TestRunCausalityPanelTooSmall(t *testing.T) {
 	w, _ := st.Writer(crawler.NSStartups)
 	_ = w.Append(crawler.StartupRecord{})
 	_ = w.Close()
-	if _, err := RunCausality(st, 0, 0); err == nil {
+	if _, err := RunCausality(context.Background(), st, 0, 0); err == nil {
 		t.Fatal("expected panel-too-small error")
 	}
 }
 
 func TestEngagementSignificance(t *testing.T) {
-	companies, err := LoadCompanies(fixStore, -1)
+	companies, err := LoadCompanies(context.Background(), fixStore, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestEngagementSignificance(t *testing.T) {
 }
 
 func TestFig3PowerLawAlpha(t *testing.T) {
-	investors, _ := LoadInvestors(fixStore, -1)
+	investors, _ := LoadInvestors(context.Background(), fixStore, -1)
 	res := RunFig3(investors)
 	if res.PowerLawAlpha < 1.2 || res.PowerLawAlpha > 4 {
 		t.Errorf("power-law alpha = %.2f, want a heavy-tail exponent", res.PowerLawAlpha)

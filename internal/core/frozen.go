@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"crowdscope/internal/crawler"
 	"crowdscope/internal/graph"
 	"crowdscope/internal/snapshot"
 	"crowdscope/internal/store"
@@ -70,19 +71,26 @@ func LatestFrozen(st *store.Store) (int, error) {
 // tag that was frozen. The context bounds the durable blob write: a
 // canceled ctx abandons the build before commit, so a partial artifact
 // is never visible.
+//
+// When the startups namespace is hash-sharded (more than one shard), the
+// build routes to the shard-at-a-time path, which produces a
+// byte-identical artifact with O(world/K + artifact) peak memory.
 func BuildFrozen(ctx context.Context, st *store.Store, snap int) (int, error) {
 	if snap < 0 {
 		var err error
-		snap, err = LatestSnapshot(st)
+		snap, err = LatestSnapshot(ctx, st)
 		if err != nil {
 			return 0, err
 		}
 	}
-	companies, err := LoadCompanies(st, snap)
+	if k, err := st.ShardCount(crawler.NSStartups); err == nil && k > 1 {
+		return BuildFrozenSharded(ctx, st, snap)
+	}
+	companies, err := LoadCompanies(ctx, st, snap)
 	if err != nil {
 		return 0, err
 	}
-	investors, err := LoadInvestors(st, snap)
+	investors, err := LoadInvestors(ctx, st, snap)
 	if err != nil {
 		return 0, err
 	}

@@ -40,11 +40,11 @@ func TestFrozenRoundTripMatchesJSONPath(t *testing.T) {
 		t.Fatalf("loaded snapshot tag %d", fs.Snapshot)
 	}
 
-	companies, err := LoadCompanies(fixStore, 0)
+	companies, err := LoadCompanies(context.Background(), fixStore, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	investors, err := LoadInvestors(fixStore, 0)
+	investors, err := LoadInvestors(context.Background(), fixStore, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestFrozenAnalysesBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	investors, err := LoadInvestors(fixStore, 0)
+	investors, err := LoadInvestors(context.Background(), fixStore, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestQuerySourceFrozenNamespaces(t *testing.T) {
 	buildFixtureFrozen(t)
 	src := &QuerySource{Store: fixStore}
 
-	companies, err := LoadCompanies(fixStore, 0)
+	companies, err := LoadCompanies(context.Background(), fixStore, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestQuerySourceFrozenNamespaces(t *testing.T) {
 		t.Fatalf("companies count = %v, want %d", res.Rows, len(companies))
 	}
 
-	investors, err := LoadInvestors(fixStore, 0)
+	investors, err := LoadInvestors(context.Background(), fixStore, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,11 +214,11 @@ func TestLongitudinalPreferFrozen(t *testing.T) {
 	st, w := longitudinalStore(t)
 	k := w.Cfg.NumCommunities()
 
-	causJSON, err := RunCausality(st, 0, 1)
+	causJSON, err := RunCausality(context.Background(), st, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dynJSON, err := RunDynamics(st, 0, 1, 2, k, 31)
+	dynJSON, err := RunDynamics(context.Background(), st, 0, 1, 2, k, 31)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,11 +228,11 @@ func TestLongitudinalPreferFrozen(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	causFrozen, err := RunCausality(st, 0, 1)
+	causFrozen, err := RunCausality(context.Background(), st, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dynFrozen, err := RunDynamics(st, 0, 1, 2, k, 31)
+	dynFrozen, err := RunDynamics(context.Background(), st, 0, 1, 2, k, 31)
 	if err != nil {
 		t.Fatal(err)
 	}

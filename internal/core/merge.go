@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crowdscope/internal/crawler"
@@ -51,10 +52,11 @@ func partitionsFor(n int) int {
 }
 
 // LatestSnapshot returns the largest snapshot tag in the startups
-// namespace, or an error when nothing was crawled.
-func LatestSnapshot(st *store.Store) (int, error) {
+// namespace, or an error when nothing was crawled. The context bounds
+// the namespace scan.
+func LatestSnapshot(ctx context.Context, st *store.Store) (int, error) {
 	latest := -1
-	err := store.ScanAs(st, crawler.NSStartups, func(r crawler.StartupRecord) error {
+	err := store.ScanAsContext(ctx, st, crawler.NSStartups, func(r crawler.StartupRecord) error {
 		if r.Snapshot > latest {
 			latest = r.Snapshot
 		}
@@ -71,29 +73,30 @@ func LatestSnapshot(st *store.Store) (int, error) {
 
 // LoadCompanies merges the given snapshot's startups with their
 // CrunchBase, Facebook and Twitter augmentations using dataflow joins
-// (the paper's Spark merge). Pass snapshot -1 to use the latest.
-func LoadCompanies(st *store.Store, snapshot int) ([]Company, error) {
+// (the paper's Spark merge). Pass snapshot -1 to use the latest. The
+// context bounds the namespace scans; the joins themselves are in-memory.
+func LoadCompanies(ctx context.Context, st *store.Store, snapshot int) ([]Company, error) {
 	if snapshot < 0 {
 		var err error
-		snapshot, err = LatestSnapshot(st)
+		snapshot, err = LatestSnapshot(ctx, st)
 		if err != nil {
 			return nil, err
 		}
 	}
-	startups, err := readSnapshot[crawler.StartupRecord](st, crawler.NSStartups, snapshot, func(r crawler.StartupRecord) int { return r.Snapshot })
+	startups, err := readSnapshot[crawler.StartupRecord](ctx, st, crawler.NSStartups, snapshot, func(r crawler.StartupRecord) int { return r.Snapshot })
 	if err != nil {
 		return nil, err
 	}
 	// Augmentation namespaces may be absent when the crawl skipped them.
-	cbs, err := readSnapshotOptional[crawler.AugmentRecord[cbProfile]](st, crawler.NSCrunchBase, snapshot, func(r crawler.AugmentRecord[cbProfile]) int { return r.Snapshot })
+	cbs, err := readSnapshotOptional[crawler.AugmentRecord[cbProfile]](ctx, st, crawler.NSCrunchBase, snapshot, func(r crawler.AugmentRecord[cbProfile]) int { return r.Snapshot })
 	if err != nil {
 		return nil, err
 	}
-	fbs, err := readSnapshotOptional[crawler.AugmentRecord[fbProfile]](st, crawler.NSFacebook, snapshot, func(r crawler.AugmentRecord[fbProfile]) int { return r.Snapshot })
+	fbs, err := readSnapshotOptional[crawler.AugmentRecord[fbProfile]](ctx, st, crawler.NSFacebook, snapshot, func(r crawler.AugmentRecord[fbProfile]) int { return r.Snapshot })
 	if err != nil {
 		return nil, err
 	}
-	tws, err := readSnapshotOptional[crawler.AugmentRecord[twProfile]](st, crawler.NSTwitter, snapshot, func(r crawler.AugmentRecord[twProfile]) int { return r.Snapshot })
+	tws, err := readSnapshotOptional[crawler.AugmentRecord[twProfile]](ctx, st, crawler.NSTwitter, snapshot, func(r crawler.AugmentRecord[twProfile]) int { return r.Snapshot })
 	if err != nil {
 		return nil, err
 	}
@@ -151,16 +154,17 @@ func LoadCompanies(st *store.Store, snapshot int) ([]Company, error) {
 
 // LoadInvestors returns the snapshot's users that identify as having made
 // at least one investment (the paper's bipartite graph omits investors
-// with none). Pass snapshot -1 for the latest.
-func LoadInvestors(st *store.Store, snapshot int) ([]Investor, error) {
+// with none). Pass snapshot -1 for the latest. The context bounds the
+// namespace scan.
+func LoadInvestors(ctx context.Context, st *store.Store, snapshot int) ([]Investor, error) {
 	if snapshot < 0 {
 		var err error
-		snapshot, err = LatestSnapshot(st)
+		snapshot, err = LatestSnapshot(ctx, st)
 		if err != nil {
 			return nil, err
 		}
 	}
-	users, err := readSnapshot[crawler.UserRecord](st, crawler.NSUsers, snapshot, func(r crawler.UserRecord) int { return r.Snapshot })
+	users, err := readSnapshot[crawler.UserRecord](ctx, st, crawler.NSUsers, snapshot, func(r crawler.UserRecord) int { return r.Snapshot })
 	if err != nil {
 		return nil, err
 	}
@@ -193,9 +197,9 @@ type twProfile struct {
 	FollowersCount int `json:"followers_count"`
 }
 
-func readSnapshot[T any](st *store.Store, ns string, snapshot int, tag func(T) int) ([]T, error) {
+func readSnapshot[T any](ctx context.Context, st *store.Store, ns string, snapshot int, tag func(T) int) ([]T, error) {
 	var out []T
-	err := store.ScanAs(st, ns, func(r T) error {
+	err := store.ScanAsContext(ctx, st, ns, func(r T) error {
 		if tag(r) == snapshot {
 			out = append(out, r)
 		}
@@ -209,10 +213,10 @@ func readSnapshot[T any](st *store.Store, ns string, snapshot int, tag func(T) i
 
 // readSnapshotOptional tolerates a missing namespace (no augmentation
 // collected), returning an empty slice.
-func readSnapshotOptional[T any](st *store.Store, ns string, snapshot int, tag func(T) int) ([]T, error) {
+func readSnapshotOptional[T any](ctx context.Context, st *store.Store, ns string, snapshot int, tag func(T) int) ([]T, error) {
 	for _, known := range st.Namespaces() {
 		if known == ns {
-			return readSnapshot(st, ns, snapshot, tag)
+			return readSnapshot(ctx, st, ns, snapshot, tag)
 		}
 	}
 	return nil, nil

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"crowdscope/internal/crawler"
+	"crowdscope/internal/snapshot"
+	"crowdscope/internal/store"
+)
+
+// Sharded snapshot builder: the out-of-core counterpart of the dataflow
+// merge path. Instead of materializing every raw crawl record at once,
+// it walks the co-sharded crawl namespaces one shard at a time — join a
+// shard's startups with that same shard's augmentations (sharding is by
+// startup ID, so a shard is join-closed), sort the shard, release the
+// raw records — and then counting-sort-merges the K sorted shard runs
+// into the globally ID-ordered company and investor lists. Peak memory
+// is one shard's raw records plus the merged columnar output, i.e.
+// O(world/K + artifact) instead of O(world).
+//
+// The result is byte-identical to the in-memory path: entity IDs are
+// unique, so concatenating per-shard ID-sorted runs through a K-way
+// min-merge reproduces exactly the dataflow.SortBy order, and the CSR
+// comes from snapshot.ApplyBipartite over the merged investor rows,
+// which is pinned (by the delta suite and the equivalence tests here) to
+// graph.FreezeBipartite(BuildInvestorGraph(investors)).
+
+// BuildFrozenSharded runs the snapshot-builder stage shard-at-a-time and
+// commits the frozen artifact. It accepts any store — a legacy unsharded
+// one simply processes as a single shard — and produces bytes identical
+// to BuildFrozen's in-memory path. Pass snap -1 to freeze the latest
+// crawled snapshot; returns the snapshot tag that was frozen.
+func BuildFrozenSharded(ctx context.Context, st *store.Store, snap int) (int, error) {
+	if snap < 0 {
+		var err error
+		snap, err = LatestSnapshot(ctx, st)
+		if err != nil {
+			return 0, err
+		}
+	}
+	fs, err := buildFrozenShardedSnapshot(ctx, st, snap)
+	if err != nil {
+		return 0, err
+	}
+	if err := CommitFrozen(ctx, st, fs); err != nil {
+		return 0, err
+	}
+	return snap, nil
+}
+
+func buildFrozenShardedSnapshot(ctx context.Context, st *store.Store, snap int) (*FrozenSnapshot, error) {
+	companies, err := loadCompaniesSharded(ctx, st, snap)
+	if err != nil {
+		return nil, err
+	}
+	investors, err := loadInvestorsSharded(ctx, st, snap)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]snapshot.AdjacencyRow, len(investors))
+	for i, inv := range investors {
+		rows[i] = snapshot.AdjacencyRow{Left: inv.ID, Rights: inv.Investments}
+	}
+	g, err := snapshot.ApplyBipartite(rows)
+	if err != nil {
+		return nil, err
+	}
+	return &FrozenSnapshot{Snapshot: snap, Companies: companies, Investors: investors, Graph: g}, nil
+}
+
+// loadCompaniesSharded merges startups with their augmentations one
+// shard at a time, reproducing LoadCompanies' join semantics exactly:
+// left-outer joins keyed by startup ID, augmentations without a matching
+// startup dropped, final list sorted by ID.
+func loadCompaniesSharded(ctx context.Context, st *store.Store, snap int) ([]Company, error) {
+	k, err := st.ShardCount(crawler.NSStartups)
+	if err != nil {
+		return nil, err
+	}
+	// Augmentations are keyed by startup ID; they join shard-locally only
+	// when persisted with the startups' shard count.
+	for _, ns := range []string{crawler.NSCrunchBase, crawler.NSFacebook, crawler.NSTwitter} {
+		if !hasNamespace(st, ns) {
+			continue
+		}
+		ak, err := st.ShardCount(ns)
+		if err != nil {
+			return nil, err
+		}
+		if ak != k {
+			return nil, fmt.Errorf("core: %s has %d shards, %s has %d: not co-sharded", ns, ak, crawler.NSStartups, k)
+		}
+	}
+	runs := make([][]Company, k)
+	for shard := 0; shard < k; shard++ {
+		byID := map[string]*Company{}
+		err := store.ScanShardAsContext(ctx, st, crawler.NSStartups, shard, func(r crawler.StartupRecord) error {
+			if r.Snapshot != snap {
+				return nil
+			}
+			byID[r.ID] = &Company{
+				ID:          r.ID,
+				Name:        r.Name,
+				Raising:     r.Raising,
+				HasVideo:    r.HasDemoVideo,
+				HasFacebook: r.FacebookURL != "",
+				HasTwitter:  r.TwitterURL != "",
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if hasNamespace(st, crawler.NSCrunchBase) {
+			err := store.ScanShardAsContext(ctx, st, crawler.NSCrunchBase, shard, func(r crawler.AugmentRecord[cbProfile]) error {
+				if r.Snapshot != snap {
+					return nil
+				}
+				c := byID[r.StartupID]
+				if c == nil {
+					return nil
+				}
+				c.RoundCount = len(r.Profile.Rounds)
+				c.Funded = len(r.Profile.Rounds) > 0
+				c.TotalRaisedUSD = 0
+				for _, rd := range r.Profile.Rounds {
+					c.TotalRaisedUSD += rd.AmountUSD
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		if hasNamespace(st, crawler.NSFacebook) {
+			err := store.ScanShardAsContext(ctx, st, crawler.NSFacebook, shard, func(r crawler.AugmentRecord[fbProfile]) error {
+				if r.Snapshot != snap {
+					return nil
+				}
+				if c := byID[r.StartupID]; c != nil {
+					c.Likes = r.Profile.Likes
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		if hasNamespace(st, crawler.NSTwitter) {
+			err := store.ScanShardAsContext(ctx, st, crawler.NSTwitter, shard, func(r crawler.AugmentRecord[twProfile]) error {
+				if r.Snapshot != snap {
+					return nil
+				}
+				if c := byID[r.StartupID]; c != nil {
+					c.Tweets = r.Profile.StatusesCount
+					c.Followers = r.Profile.FollowersCount
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		run := make([]Company, 0, len(byID))
+		for _, c := range byID {
+			run = append(run, *c)
+		}
+		sort.Slice(run, func(a, b int) bool { return run[a].ID < run[b].ID })
+		runs[shard] = run
+	}
+	return mergeSortedRuns(runs, func(c Company) string { return c.ID }), nil
+}
+
+// loadInvestorsSharded streams the user shards into the ID-sorted
+// investor list, keeping only what LoadInvestors keeps: users with at
+// least one investment, reduced to ID, investment list and follow count.
+// The raw follow edge lists — the bulk of a user record — are released
+// record by record.
+func loadInvestorsSharded(ctx context.Context, st *store.Store, snap int) ([]Investor, error) {
+	k, err := st.ShardCount(crawler.NSUsers)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([][]Investor, k)
+	for shard := 0; shard < k; shard++ {
+		var run []Investor
+		err := store.ScanShardAsContext(ctx, st, crawler.NSUsers, shard, func(r crawler.UserRecord) error {
+			if r.Snapshot != snap || len(r.Investments) == 0 {
+				return nil
+			}
+			run = append(run, Investor{ID: r.ID, Investments: r.Investments, Follows: len(r.FollowsStartups)})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(run, func(a, b int) bool { return run[a].ID < run[b].ID })
+		runs[shard] = run
+	}
+	return mergeSortedRuns(runs, func(i Investor) string { return i.ID }), nil
+}
+
+// mergeSortedRuns K-way merges per-shard ID-sorted runs into one sorted
+// list. IDs are unique across shards (hash partitioning), so the merge
+// order equals a global sort.
+func mergeSortedRuns[T any](runs [][]T, id func(T) string) []T {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]T, 0, total)
+	heads := make([]int, len(runs))
+	for {
+		best := -1
+		var bestID string
+		for i, r := range runs {
+			if heads[i] >= len(r) {
+				continue
+			}
+			if cand := id(r[heads[i]]); best < 0 || cand < bestID {
+				best, bestID = i, cand
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+}
+
+func hasNamespace(st *store.Store, ns string) bool {
+	for _, known := range st.Namespaces() {
+		if known == ns {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"crowdscope/internal/crawler"
+	"crowdscope/internal/ecosystem"
+	"crowdscope/internal/graph"
+	"crowdscope/internal/store"
+)
+
+// encodeInMemory builds the frozen snapshot through the dataflow path
+// (the pre-sharding reference implementation) and returns its bytes.
+func encodeInMemory(t *testing.T, st *store.Store, snap int) []byte {
+	t.Helper()
+	companies, err := LoadCompanies(context.Background(), st, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	investors, err := LoadInvestors(context.Background(), st, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := EncodeFrozen(&FrozenSnapshot{
+		Snapshot:  snap,
+		Companies: companies,
+		Investors: investors,
+		Graph:     graph.FreezeBipartite(BuildInvestorGraph(investors)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestShardedFreezeEquivalence is the tentpole identity gate: the
+// shard-at-a-time build must produce a byte-identical artifact to the
+// in-memory dataflow build, across world sizes (≈64, ≈512, ≈4096
+// entities). The data comes from the streamed generate→ingest pipeline,
+// so the dataflow path reads the very same sharded namespaces (a plain
+// scan walks all shards).
+func TestShardedFreezeEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name  string
+		scale float64
+	}{
+		{"64", 0.0001},
+		{"512", 0.0007},
+		{"4096", 0.0055},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := store.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := ecosystem.NewConfig(99, tc.scale)
+			cfg.Shards = 4
+			if _, err := ecosystem.GenerateTo(ctx, st, cfg); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := crawler.IngestGenerated(ctx, st, 0); err != nil {
+				t.Fatal(err)
+			}
+
+			wantRaw := encodeInMemory(t, st, 0)
+			fs, err := buildFrozenShardedSnapshot(ctx, st, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRaw, err := EncodeFrozen(fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotRaw, wantRaw) {
+				t.Fatalf("sharded build differs from in-memory build (%d vs %d bytes)", len(gotRaw), len(wantRaw))
+			}
+			if len(fs.Companies) == 0 || len(fs.Investors) == 0 {
+				t.Fatal("equivalence vacuous: empty snapshot")
+			}
+
+			// BuildFrozen must route to the sharded path and commit the
+			// same bytes.
+			snap, err := BuildFrozen(ctx, st, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadFrozen(st, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reRaw, err := EncodeFrozen(loaded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(reRaw, wantRaw) {
+				t.Fatal("committed sharded artifact differs from in-memory build")
+			}
+		})
+	}
+}
+
+// TestShardedFreezeOnLegacyStore runs the sharded builder over the
+// unsharded HTTP-crawled fixture store (single shard degenerate case):
+// the artifact must still match the in-memory build byte for byte.
+func TestShardedFreezeOnLegacyStore(t *testing.T) {
+	ctx := context.Background()
+	wantRaw := encodeInMemory(t, fixStore, 0)
+	fs, err := buildFrozenShardedSnapshot(ctx, fixStore, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRaw, err := EncodeFrozen(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotRaw, wantRaw) {
+		t.Fatalf("legacy-store sharded build differs from in-memory build (%d vs %d bytes)", len(gotRaw), len(wantRaw))
+	}
+}

@@ -282,7 +282,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := LoadCheckpoint(st, "checkpoint/none"); err != nil || ok {
+	if _, ok, err := LoadCheckpoint(context.Background(), st, "checkpoint/none"); err != nil || ok {
 		t.Fatalf("empty store: ok=%v err=%v", ok, err)
 	}
 	cp := &Checkpoint{
@@ -303,7 +303,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err := SaveCheckpoint(context.Background(), st, "checkpoint/crawl", cp2); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, err := LoadCheckpoint(st, "checkpoint/crawl")
+	got, ok, err := LoadCheckpoint(context.Background(), st, "checkpoint/crawl")
 	if err != nil || !ok {
 		t.Fatalf("load: ok=%v err=%v", ok, err)
 	}

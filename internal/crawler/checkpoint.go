@@ -97,8 +97,9 @@ func SaveCheckpoint(ctx context.Context, s *store.Store, ns string, cp *Checkpoi
 }
 
 // LoadCheckpoint returns the latest checkpoint in the namespace, or
-// ok=false when none has ever been committed.
-func LoadCheckpoint(s *store.Store, ns string) (*Checkpoint, bool, error) {
+// ok=false when none has ever been committed. The context bounds the
+// checkpoint scan.
+func LoadCheckpoint(ctx context.Context, s *store.Store, ns string) (*Checkpoint, bool, error) {
 	known := false
 	for _, n := range s.Namespaces() {
 		if n == ns {
@@ -110,7 +111,7 @@ func LoadCheckpoint(s *store.Store, ns string) (*Checkpoint, bool, error) {
 		return nil, false, nil
 	}
 	var last *Checkpoint
-	err := store.ScanAs(s, ns, func(cp Checkpoint) error {
+	err := store.ScanAsContext(ctx, s, ns, func(cp Checkpoint) error {
 		c := cp
 		last = &c
 		return nil

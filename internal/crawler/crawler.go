@@ -81,7 +81,7 @@ func (cr *Crawler) Run(ctx context.Context) (*Snapshot, error) {
 	cpSeq := 0
 
 	if cr.Checkpoint != nil && cr.Checkpoint.Resume {
-		cp, ok, err := LoadCheckpoint(cr.Checkpoint.Store, cr.Checkpoint.namespace())
+		cp, ok, err := LoadCheckpoint(ctx, cr.Checkpoint.Store, cr.Checkpoint.namespace())
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,101 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+
+	"crowdscope/internal/ecosystem"
+	"crowdscope/internal/store"
+)
+
+// IngestGenerated promotes a streamed generated world — the gen/*
+// namespaces ecosystem.GenerateTo commits — into the standard crawl
+// namespaces, tagging every record with the snapshot number. It is the
+// collection stage at scales where driving the HTTP crawler is
+// infeasible (the paper-scale pipeline); the record schema it writes is
+// exactly what Persist writes after a real crawl, so every downstream
+// stage is oblivious to which path produced the data.
+//
+// Each crawl namespace inherits its source namespace's shard count and
+// key (startups and users shard by their own ID, augmentation profiles
+// by the owning startup ID), so the crawl namespaces stay co-sharded
+// with each other and a shard-at-a-time freeze never needs records from
+// two shards at once. The transform streams record by record: peak
+// memory is O(1) in world size.
+//
+// Returns the total number of records ingested. The context bounds the
+// durable writes; segment commits are atomic so cancellation never
+// leaves a torn namespace.
+func IngestGenerated(ctx context.Context, s *store.Store, snapshotNum int) (int64, error) {
+	var total int64
+	n, err := ingestNS(ctx, s, ecosystem.NSGenStartups, NSStartups,
+		func(r ecosystem.Startup) (string, any) {
+			return r.ID, StartupRecord{Startup: r, Snapshot: snapshotNum}
+		})
+	total += n
+	if err != nil {
+		return total, err
+	}
+	n, err = ingestNS(ctx, s, ecosystem.NSGenUsers, NSUsers,
+		func(r ecosystem.User) (string, any) {
+			return r.ID, UserRecord{User: r, Snapshot: snapshotNum}
+		})
+	total += n
+	if err != nil {
+		return total, err
+	}
+	n, err = ingestNS(ctx, s, ecosystem.NSGenCrunchBase, NSCrunchBase,
+		func(r ecosystem.GenAugment[ecosystem.CrunchBaseProfile]) (string, any) {
+			return r.StartupID, AugmentRecord[ecosystem.CrunchBaseProfile]{StartupID: r.StartupID, Profile: r.Profile, Snapshot: snapshotNum}
+		})
+	total += n
+	if err != nil {
+		return total, err
+	}
+	n, err = ingestNS(ctx, s, ecosystem.NSGenFacebook, NSFacebook,
+		func(r ecosystem.GenAugment[ecosystem.FacebookProfile]) (string, any) {
+			return r.StartupID, AugmentRecord[ecosystem.FacebookProfile]{StartupID: r.StartupID, Profile: r.Profile, Snapshot: snapshotNum}
+		})
+	total += n
+	if err != nil {
+		return total, err
+	}
+	n, err = ingestNS(ctx, s, ecosystem.NSGenTwitter, NSTwitter,
+		func(r ecosystem.GenAugment[ecosystem.TwitterProfile]) (string, any) {
+			return r.StartupID, AugmentRecord[ecosystem.TwitterProfile]{StartupID: r.StartupID, Profile: r.Profile, Snapshot: snapshotNum}
+		})
+	total += n
+	return total, err
+}
+
+// ingestNS streams one generated namespace into its crawl counterpart,
+// preserving the shard count and per-shard record order.
+func ingestNS[In any](ctx context.Context, s *store.Store, from, to string, wrap func(In) (string, any)) (int64, error) {
+	k, err := s.ShardCount(from)
+	if err != nil {
+		return 0, fmt.Errorf("crawler: ingest %s: %w", from, err)
+	}
+	w, err := s.ShardedWriter(to, k)
+	if err != nil {
+		return 0, fmt.Errorf("crawler: ingest %s: %w", to, err)
+	}
+	var n int64
+	for shard := 0; shard < k; shard++ {
+		err := store.ScanShardAsContext(ctx, s, from, shard, func(r In) error {
+			key, rec := wrap(r)
+			if err := w.Append(key, rec); err != nil {
+				return err
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			w.Close()
+			return n, fmt.Errorf("crawler: ingest %s: %w", from, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return n, fmt.Errorf("crawler: ingest %s: %w", to, err)
+	}
+	return n, nil
+}

@@ -326,7 +326,13 @@ func zipfForMean(mean float64, max int) (*stats.BoundedZipf, error) {
 // (so all startups are two hops away). The remaining edges are random,
 // with volumes matching the paper (investors follow ≈247 companies on
 // average).
-func genFollows(w *World, rng *rand.Rand) {
+//
+// The volume pass is the last user-mutating phase, so each user is final
+// — and emitted — the moment its iteration completes. A non-retaining
+// emitter then has the user replaced by an ID+role skeleton, which is
+// what keeps streamed generation from holding all ~33M follow edges at
+// once: later iterations only read other users' IDs.
+func genFollows(w *World, rng *rand.Rand, em emitter) error {
 	cfg := w.Cfg
 	var raising []int32
 	for i, s := range w.Startups {
@@ -345,7 +351,7 @@ func genFollows(w *World, rng *rand.Rand) {
 		u.FollowsStartups = append(u.FollowsStartups, s.ID)
 	}
 	// Pass 3: volume. Lognormal counts with the configured means.
-	for _, u := range w.Users {
+	for ui, u := range w.Users {
 		mean := cfg.FollowsPerNonInvestor
 		if u.Role == RoleInvestor {
 			mean = cfg.FollowsPerInvestor
@@ -389,5 +395,12 @@ func genFollows(w *World, rng *rand.Rand) {
 			seenU[v.ID] = struct{}{}
 			u.FollowsUsers = append(u.FollowsUsers, v.ID)
 		}
+		if err := em.user(u); err != nil {
+			return err
+		}
+		if !em.retain() {
+			w.Users[ui] = &User{ID: u.ID, Role: u.Role}
+		}
 	}
+	return nil
 }

@@ -109,6 +109,12 @@ type Config struct {
 	CBLinkFrac     float64
 	DupliNameFrac  float64
 	CBNoRoundsFrac float64
+
+	// Shards is the store shard count GenerateTo writes each gen/*
+	// namespace with (0 picks DefaultShards). It has no effect on the
+	// generated world — only on how the streamed records are partitioned
+	// on disk — so it is deliberately absent from Validate's invariants.
+	Shards int
 }
 
 // NewConfig returns the calibrated defaults at the given scale and seed.

@@ -19,25 +19,73 @@ func Generate(cfg Config) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	w := &World{
+	w := newWorld(cfg)
+	if err := runGeneration(w, &memEmitter{w}); err != nil {
+		return nil, err
+	}
+	w.reindex()
+	return w, nil
+}
+
+func newWorld(cfg Config) *World {
+	return &World{
 		Cfg:        cfg,
 		Facebook:   map[string]*FacebookProfile{},
 		Twitter:    map[string]*TwitterProfile{},
 		CrunchBase: map[string]*CrunchBaseProfile{},
 	}
+}
+
+// runGeneration is the generation core shared by the in-memory and
+// streaming paths. The phase order AND the RNG draw sequence inside each
+// phase are load-bearing: the paper calibration (Figure 6 gradient,
+// community masses, follow volumes) was fit against this exact sequence,
+// and the streamed/in-memory identity guarantee depends on both paths
+// consuming the same draws. Emission never consumes randomness, so the
+// emitter choice cannot perturb the world.
+//
+// Entities are handed to the emitter at their final-mutation points:
+// social profiles as they are created, CrunchBase profiles as they are
+// created, startups after genCrunchBase assigns CrunchBase links, users
+// as each finishes its follow-volume pass. A non-retaining emitter then
+// has each entity replaced by a skeleton carrying only the fields later
+// phases still read, which is what bounds streamed memory.
+func runGeneration(w *World, em emitter) error {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed))
 	genStartups(w, rng)
 	genUsers(w, rng)
 	assignFounders(w, rng)
-	engagement := genSocialProfiles(w, rng)
-	assignSuccess(w, rng, engagement)
-	genCrunchBase(w, rng)
-	if err := plantCommunitiesAndInvestments(w, rng); err != nil {
-		return nil, err
+	engagement, err := genSocialProfiles(w, rng, em)
+	if err != nil {
+		return err
 	}
-	genFollows(w, rng)
-	w.reindex()
-	return w, nil
+	assignSuccess(w, rng, engagement)
+	if err := genCrunchBase(w, rng, em); err != nil {
+		return err
+	}
+	if err := emitStartups(w, em); err != nil {
+		return err
+	}
+	if err := plantCommunitiesAndInvestments(w, rng); err != nil {
+		return err
+	}
+	return genFollows(w, rng, em)
+}
+
+// emitStartups hands every startup to the emitter now that the last
+// startup-mutating phase (genCrunchBase) has run. Without retention each
+// record is replaced by a skeleton; the remaining phases only read a
+// startup's ID and Raising flag.
+func emitStartups(w *World, em emitter) error {
+	for i, s := range w.Startups {
+		if err := em.startup(s); err != nil {
+			return err
+		}
+		if !em.retain() {
+			w.Startups[i] = &Startup{ID: s.ID, Raising: s.Raising}
+		}
+	}
+	return nil
 }
 
 // genStartups creates companies with raising flags, social links and demo
@@ -145,8 +193,9 @@ func assignFounders(w *World, rng *rand.Rand) {
 // genSocialProfiles creates the Facebook and Twitter profiles behind each
 // startup's links, driven by a per-company engagement latent so likes,
 // tweets and followers are mutually correlated. It returns the latent per
-// startup (positive = above-median engagement).
-func genSocialProfiles(w *World, rng *rand.Rand) []float64 {
+// startup (positive = above-median engagement). Profiles are final at
+// creation, so they are emitted immediately, keyed by the owning startup.
+func genSocialProfiles(w *World, rng *rand.Rand, em emitter) ([]float64, error) {
 	cfg := w.Cfg
 	latent := make([]float64, len(w.Startups))
 	for i, s := range w.Startups {
@@ -158,18 +207,21 @@ func genSocialProfiles(w *World, rng *rand.Rand) []float64 {
 			return int(math.Round(float64(median) * math.Exp(spread*z)))
 		}
 		if s.FacebookURL != "" {
-			w.Facebook[s.FacebookURL] = &FacebookProfile{
+			p := &FacebookProfile{
 				URL:         s.FacebookURL,
 				Name:        s.Name,
 				Location:    location(rng),
 				Likes:       metric(cfg.MedianLikes, 1.3),
 				RecentPosts: 1 + rng.Intn(30),
 			}
+			if err := em.facebook(s.ID, p); err != nil {
+				return nil, err
+			}
 		}
 		if s.TwitterURL != "" {
 			username := s.TwitterURL[len("https://twitter.com/"):]
 			created := baseDate.AddDate(-1-rng.Intn(5), rng.Intn(12), 0)
-			w.Twitter[s.TwitterURL] = &TwitterProfile{
+			p := &TwitterProfile{
 				URL:            s.TwitterURL,
 				Username:       username,
 				CreatedAt:      created,
@@ -180,9 +232,12 @@ func genSocialProfiles(w *World, rng *rand.Rand) []float64 {
 				LatestStatus:   "Shipping something new at " + s.Name,
 				LatestStatusAt: baseDate.AddDate(0, 0, -rng.Intn(60)),
 			}
+			if err := em.twitter(s.ID, p); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return latent
+	return latent, nil
 }
 
 // assignSuccess decides which companies raised funding, reproducing the
@@ -232,8 +287,9 @@ func assignSuccess(w *World, rng *rand.Rand, latent []float64) {
 // genCrunchBase creates CrunchBase profiles: every successful company gets
 // one (with rounds); a small extra fraction of unsuccessful companies have
 // an empty profile. A CBLinkFrac share of profiles are linked from the
-// AngelList side.
-func genCrunchBase(w *World, rng *rand.Rand) {
+// AngelList side. Profiles are final at creation and emitted on the spot;
+// the link assignment afterwards mutates only the startup.
+func genCrunchBase(w *World, rng *rand.Rand, em emitter) error {
 	cfg := w.Cfg
 	for i, s := range w.Startups {
 		hasProfile := w.Successful[i] || w.dupNames[normalizeName(s.Name)] ||
@@ -262,9 +318,12 @@ func genCrunchBase(w *World, rng *rand.Rand) {
 				date = date.AddDate(0, 8+rng.Intn(10), 0)
 			}
 		}
-		w.CrunchBase[url] = p
+		if err := em.crunchbase(s.ID, p); err != nil {
+			return err
+		}
 		if rng.Float64() < cfg.CBLinkFrac {
 			s.CrunchBaseURL = url
 		}
 	}
+	return nil
 }

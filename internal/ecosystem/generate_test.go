@@ -70,6 +70,35 @@ func TestScaledCounts(t *testing.T) {
 	}
 }
 
+// TestScaledCountFloors: at vanishing scale every derived count clamps
+// to its structural minimum — one raising startup, two communities, one
+// entity — instead of rounding to zero and degenerating the world.
+func TestScaledCountFloors(t *testing.T) {
+	c := NewConfig(1, 1e-9)
+	if got := c.NumStartups(); got != 1 {
+		t.Errorf("NumStartups at ~0 scale = %d, want floor 1", got)
+	}
+	if got := c.NumRaising(); got != 1 {
+		t.Errorf("NumRaising at ~0 scale = %d, want floor 1", got)
+	}
+	if got := c.NumCommunities(); got != 2 {
+		t.Errorf("NumCommunities at ~0 scale = %d, want floor 2", got)
+	}
+}
+
+// TestSuccessRateNoMatches: an empty predicate slice reports a zero
+// rate, not NaN.
+func TestSuccessRateNoMatches(t *testing.T) {
+	w, err := Generate(NewConfig(3, 0.0005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, matched := w.SuccessRate(func(*Startup) bool { return false })
+	if rate != 0 || matched != 0 {
+		t.Errorf("SuccessRate with no matches = %g, %d; want 0, 0", rate, matched)
+	}
+}
+
 func TestGenerateRejectsBadConfig(t *testing.T) {
 	c := NewConfig(1, 0)
 	if _, err := Generate(c); err == nil {

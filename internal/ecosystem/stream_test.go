@@ -1,0 +1,180 @@
+package ecosystem
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"crowdscope/internal/store"
+)
+
+// mustJSON marshals for byte-level record comparison.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestGenerateToMatchesGenerate is the streamed/in-memory identity
+// property: for the same config, every record GenerateTo commits must be
+// byte-identical (as JSON) to the corresponding entity Generate returns,
+// and nothing may be missing or extra. It pins down that the emitter
+// refactor did not perturb the RNG draw sequence and that emission
+// points really are final-mutation points.
+func TestGenerateToMatchesGenerate(t *testing.T) {
+	cfg := NewConfig(42, 0.001)
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	gs, err := GenerateTo(context.Background(), st, cfg)
+	if err != nil {
+		t.Fatalf("GenerateTo: %v", err)
+	}
+
+	if gs.Shards != 4 {
+		t.Fatalf("stats.Shards = %d, want 4", gs.Shards)
+	}
+	if int(gs.Startups) != len(w.Startups) || int(gs.Users) != len(w.Users) ||
+		int(gs.Facebook) != len(w.Facebook) || int(gs.Twitter) != len(w.Twitter) ||
+		int(gs.CrunchBase) != len(w.CrunchBase) {
+		t.Fatalf("stats %+v disagree with world (%d startups, %d users, %d fb, %d tw, %d cb)",
+			gs, len(w.Startups), len(w.Users), len(w.Facebook), len(w.Twitter), len(w.CrunchBase))
+	}
+
+	// Startups: identical records, each on its hash shard.
+	k, err := st.ShardCount(NSGenStartups)
+	if err != nil || k != 4 {
+		t.Fatalf("ShardCount = %d, %v; want 4", k, err)
+	}
+	gotStartups := map[string]string{}
+	for shard := 0; shard < k; shard++ {
+		sh := shard
+		err := store.ScanShardAsContext(context.Background(), st, NSGenStartups, sh, func(s Startup) error {
+			if store.ShardFor(s.ID, k) != sh {
+				t.Fatalf("startup %s on shard %d, routes to %d", s.ID, sh, store.ShardFor(s.ID, k))
+			}
+			gotStartups[s.ID] = mustJSON(t, &s)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(gotStartups) != len(w.Startups) {
+		t.Fatalf("streamed %d startups, world has %d", len(gotStartups), len(w.Startups))
+	}
+	for _, s := range w.Startups {
+		if gotStartups[s.ID] != mustJSON(t, s) {
+			t.Fatalf("startup %s differs:\nstream: %s\nworld:  %s", s.ID, gotStartups[s.ID], mustJSON(t, s))
+		}
+	}
+
+	// Users.
+	gotUsers := map[string]string{}
+	if err := store.ScanAsContext(context.Background(), st, NSGenUsers, func(u User) error {
+		gotUsers[u.ID] = mustJSON(t, &u)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotUsers) != len(w.Users) {
+		t.Fatalf("streamed %d users, world has %d", len(gotUsers), len(w.Users))
+	}
+	for _, u := range w.Users {
+		if gotUsers[u.ID] != mustJSON(t, u) {
+			t.Fatalf("user %s differs:\nstream: %s\nworld:  %s", u.ID, gotUsers[u.ID], mustJSON(t, u))
+		}
+	}
+
+	// Augmentation profiles: keyed by owning startup, co-sharded with it,
+	// byte-identical to the world's profile maps.
+	byID := map[string]*Startup{}
+	for _, s := range w.Startups {
+		byID[s.ID] = s
+	}
+	nFB := 0
+	if err := store.ScanAsContext(context.Background(), st, NSGenFacebook, func(a GenAugment[*FacebookProfile]) error {
+		nFB++
+		s := byID[a.StartupID]
+		if s == nil || s.FacebookURL == "" {
+			t.Fatalf("facebook profile for %q has no owning startup link", a.StartupID)
+		}
+		if mustJSON(t, a.Profile) != mustJSON(t, w.Facebook[s.FacebookURL]) {
+			t.Fatalf("facebook profile for %s differs", a.StartupID)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if nFB != len(w.Facebook) {
+		t.Fatalf("streamed %d facebook profiles, world has %d", nFB, len(w.Facebook))
+	}
+	nTW := 0
+	if err := store.ScanAsContext(context.Background(), st, NSGenTwitter, func(a GenAugment[*TwitterProfile]) error {
+		nTW++
+		s := byID[a.StartupID]
+		if s == nil || s.TwitterURL == "" {
+			t.Fatalf("twitter profile for %q has no owning startup link", a.StartupID)
+		}
+		if mustJSON(t, a.Profile) != mustJSON(t, w.Twitter[s.TwitterURL]) {
+			t.Fatalf("twitter profile for %s differs", a.StartupID)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if nTW != len(w.Twitter) {
+		t.Fatalf("streamed %d twitter profiles, world has %d", nTW, len(w.Twitter))
+	}
+	nCB := 0
+	if err := store.ScanAsContext(context.Background(), st, NSGenCrunchBase, func(a GenAugment[*CrunchBaseProfile]) error {
+		nCB++
+		if mustJSON(t, a.Profile) != mustJSON(t, w.CrunchBase[a.Profile.URL]) {
+			t.Fatalf("crunchbase profile %s differs", a.Profile.URL)
+		}
+		// Co-sharding: the profile must sit on its startup's shard.
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if nCB != len(w.CrunchBase) {
+		t.Fatalf("streamed %d crunchbase profiles, world has %d", nCB, len(w.CrunchBase))
+	}
+}
+
+// TestGenerateToCancel verifies cancellation stops the stream with an
+// error and without committing a full world.
+func TestGenerateToCancel(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateTo(ctx, st, NewConfig(1, 0.001)); err == nil {
+		t.Fatal("canceled GenerateTo must fail")
+	}
+}
+
+// TestGenerateToInvalidConfig rejects bad configs before touching the
+// store.
+func TestGenerateToInvalidConfig(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(1, 0)
+	if _, err := GenerateTo(context.Background(), st, cfg); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+}

@@ -1,0 +1,59 @@
+package graph
+
+import "math/rand"
+
+// CapLeftDegree returns a subgraph of v in which every left node keeps
+// at most cap of its edges. Nodes at or under the cap keep their full
+// row; heavier nodes keep a uniform reservoir sample of cap edges, with
+// the kept edges re-emitted in their original row order. Sampling is
+// driven by a single seeded generator walked in left-index order, so the
+// result is deterministic for a given (view, cap, seed) regardless of
+// the view implementation.
+//
+// This is the estimator backing budgeted analytics at paper scale:
+// community detection cost scales with edge count, and capping the few
+// super-investors (out-degree up to ~1000) bounds the edge total while
+// uniform per-row sampling preserves each investor's portfolio
+// composition in expectation.
+func CapLeftDegree(v BipartiteView, cap int, seed int64) *Bipartite {
+	if cap < 1 {
+		cap = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nb := NewBipartite(v.NumLeft(), v.NumRight())
+	keep := make([]int, cap)
+	for u := int32(0); int(u) < v.NumLeft(); u++ {
+		row := v.Fwd(u)
+		if len(row) <= cap {
+			for _, r := range row {
+				nb.AddEdge(v.LeftLabel(u), v.RightLabel(r))
+			}
+			continue
+		}
+		// Reservoir over row positions, then restore row order.
+		keep = keep[:cap]
+		for i := range keep {
+			keep[i] = i
+		}
+		for i := cap; i < len(row); i++ {
+			if j := rng.Intn(i + 1); j < cap {
+				keep[j] = i
+			}
+		}
+		sortInts(keep)
+		for _, i := range keep {
+			nb.AddEdge(v.LeftLabel(u), v.RightLabel(row[i]))
+		}
+	}
+	return nb
+}
+
+// sortInts is an insertion sort: keep slices are small (the cap) and
+// nearly sorted, and this avoids pulling package sort into the hot loop.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

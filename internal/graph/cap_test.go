@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func capFixture(t *testing.T) *Bipartite {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	b := NewBipartite(0, 0)
+	for u := 0; u < 40; u++ {
+		deg := 1 + rng.Intn(20)
+		for e := 0; e < deg; e++ {
+			b.AddEdge(fmt.Sprintf("u%d", u), fmt.Sprintf("s%d", rng.Intn(60)))
+		}
+	}
+	return b
+}
+
+func TestCapLeftDegree(t *testing.T) {
+	b := capFixture(t)
+	capped := CapLeftDegree(b, 5, 7)
+
+	for u := int32(0); int(u) < capped.NumLeft(); u++ {
+		if capped.OutDegree(u) > 5 {
+			t.Fatalf("left %s keeps %d edges, cap is 5", capped.LeftLabel(u), capped.OutDegree(u))
+		}
+		// Every kept edge must exist in the original, and light nodes
+		// keep their full row.
+		orig, ok := b.LeftIndex(capped.LeftLabel(u))
+		if !ok {
+			t.Fatalf("capped graph invented left node %s", capped.LeftLabel(u))
+		}
+		if b.OutDegree(orig) <= 5 && capped.OutDegree(u) != b.OutDegree(orig) {
+			t.Fatalf("light node %s lost edges: %d -> %d", capped.LeftLabel(u), b.OutDegree(orig), capped.OutDegree(u))
+		}
+		prevPos := -1
+		for _, r := range capped.Fwd(u) {
+			if !b.HasEdge(capped.LeftLabel(u), capped.RightLabel(r)) {
+				t.Fatalf("capped graph invented edge %s->%s", capped.LeftLabel(u), capped.RightLabel(r))
+			}
+			// Row order must follow the original row order.
+			pos := -1
+			for i, or := range b.Fwd(orig) {
+				if b.RightLabel(or) == capped.RightLabel(r) && i > prevPos {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				t.Fatalf("kept edges of %s not in original row order", capped.LeftLabel(u))
+			}
+			prevPos = pos
+		}
+	}
+}
+
+func TestCapLeftDegreeDeterministic(t *testing.T) {
+	b := capFixture(t)
+	a1 := CapLeftDegree(b, 4, 11)
+	a2 := CapLeftDegree(b, 4, 11)
+	if a1.NumEdges() != a2.NumEdges() {
+		t.Fatalf("edge counts differ across runs: %d vs %d", a1.NumEdges(), a2.NumEdges())
+	}
+	for u := int32(0); int(u) < a1.NumLeft(); u++ {
+		r1, r2 := a1.Fwd(u), a2.Fwd(u)
+		if len(r1) != len(r2) {
+			t.Fatalf("row %d lengths differ", u)
+		}
+		for i := range r1 {
+			if a1.RightLabel(r1[i]) != a2.RightLabel(r2[i]) {
+				t.Fatalf("row %d differs at %d", u, i)
+			}
+		}
+	}
+	// A different seed picks a different sample for at least one heavy row
+	// (overwhelmingly likely at these sizes).
+	a3 := CapLeftDegree(b, 4, 12)
+	same := true
+	for u := int32(0); int(u) < a1.NumLeft() && same; u++ {
+		r1, r3 := a1.Fwd(u), a3.Fwd(u)
+		if len(r1) != len(r3) {
+			same = false
+			break
+		}
+		for i := range r1 {
+			if a1.RightLabel(r1[i]) != a3.RightLabel(r3[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed change produced an identical sample (sampling not seeded?)")
+	}
+}

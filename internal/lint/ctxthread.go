@@ -116,6 +116,11 @@ func blockingCall(fn *types.Func, storePath, servePath string) string {
 			case "Get", "Head", "Post", "PostForm":
 				return "http." + fn.Name()
 			}
+		case storePath:
+			switch fn.Name() {
+			case "ScanAs", "ReadAll":
+				return "store." + fn.Name() + " (unbounded read; use the Context variant)"
+			}
 		}
 		return ""
 	}
@@ -133,6 +138,8 @@ func blockingCall(fn *types.Func, storePath, servePath string) string {
 		switch fn.Name() {
 		case "Writer", "PutBlob", "Compact":
 			return "(*store.Store)." + fn.Name() + " (durable write)"
+		case "Scan":
+			return "(*store.Store).Scan (unbounded read; use ScanContext)"
 		}
 	case recv.Obj().Pkg().Path() == servePath && recv.Obj().Name() == "Server":
 		if fn.Name() == "Refresh" {

@@ -202,42 +202,68 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // — or without the capability — it loads the whole artifact through
 // the breaker as before. On any failure the previous snapshot keeps
 // serving and the cache is marked stale.
+//
+// Refresh is prepare + install: every load, decode and delta apply runs
+// against local state with the previous snapshot still serving, and the
+// only mutation in-flight requests can observe is the final pointer
+// swap in install. Nothing heavy happens between "new snapshot ready"
+// and "new snapshot serving".
 func (s *Server) Refresh(ctx context.Context) error {
+	fs, viaDeltas, err := s.prepareRefresh(ctx)
+	if err != nil {
+		s.cache.markStale()
+		return fmt.Errorf("serve: refresh: %w", err)
+	}
+	if fs == nil {
+		return nil // already serving the latest snapshot
+	}
+	s.install(fs, viaDeltas)
+	return nil
+}
+
+// prepareRefresh does the heavy half of a refresh off the swap path: it
+// observes the latest frozen snapshot and materializes it in memory,
+// via deltas when possible. It returns (nil, false, nil) when the cache
+// is already current and never touches the served snapshot.
+func (s *Server) prepareRefresh(ctx context.Context) (fs *core.FrozenSnapshot, viaDeltas bool, err error) {
 	var latest int
-	err := s.breaker.Do(ctx, func(ctx context.Context) error {
+	err = s.breaker.Do(ctx, func(ctx context.Context) error {
 		var err error
 		latest, err = s.backend.LatestFrozen(ctx)
 		return err
 	})
 	if err != nil {
-		s.cache.markStale()
-		return fmt.Errorf("serve: refresh: %w", err)
+		return nil, false, err
 	}
 	s.cache.observeLatest(latest)
 	cur, _ := s.cache.get()
 	if cur != nil && cur.Snapshot >= latest {
-		return nil
+		return nil, false, nil
 	}
 	if fs, ok := s.refreshViaDeltas(ctx, cur, latest); ok {
-		s.cache.swap(fs)
-		s.hotSwapReset(fs.Snapshot)
-		s.deltaRefreshes.Add(1)
-		return nil
+		return fs, true, nil
 	}
-	var fs *core.FrozenSnapshot
 	err = s.breaker.Do(ctx, func(ctx context.Context) error {
 		var err error
 		fs, err = s.backend.LoadFrozen(ctx, latest)
 		return err
 	})
 	if err != nil {
-		s.cache.markStale()
-		return fmt.Errorf("serve: refresh: %w", err)
+		return nil, false, err
 	}
+	return fs, false, nil
+}
+
+// install publishes a prepared snapshot: one pointer swap plus the
+// derived-state reset. This is the entire serving pause of a hot swap.
+func (s *Server) install(fs *core.FrozenSnapshot, viaDeltas bool) {
 	s.cache.swap(fs)
 	s.hotSwapReset(fs.Snapshot)
-	s.fullReloads.Add(1)
-	return nil
+	if viaDeltas {
+		s.deltaRefreshes.Add(1)
+	} else {
+		s.fullReloads.Add(1)
+	}
 }
 
 // refreshViaDeltas rolls cur forward to latest by loading each

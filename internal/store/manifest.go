@@ -44,6 +44,13 @@ type BlobInfo struct {
 	Format int `json:"format"`
 }
 
+// ShardInfo lists one shard's sealed segments in append order.
+type ShardInfo struct {
+	Segments []SegmentInfo `json:"segments"`
+	// NextSeq numbers the shard's next segment file.
+	NextSeq int64 `json:"next_seq"`
+}
+
 // NamespaceInfo lists the sealed segments of one namespace in append order.
 type NamespaceInfo struct {
 	Segments []SegmentInfo `json:"segments"`
@@ -54,6 +61,21 @@ type NamespaceInfo struct {
 	Kind string `json:"kind,omitempty"`
 	// Blob is the committed artifact of a blob namespace.
 	Blob *BlobInfo `json:"blob,omitempty"`
+	// Shards, when present, marks a hash-partitioned namespace written by
+	// ShardedWriter: records live in len(Shards) independent segment
+	// groups and Segments/NextSeq above are unused. Manifests written
+	// before sharding existed simply lack the field, so legacy
+	// namespaces load unchanged and read as a single shard.
+	Shards []*ShardInfo `json:"shards,omitempty"`
+}
+
+// shardCount returns how many shards the namespace holds (1 for legacy
+// unsharded namespaces).
+func (info *NamespaceInfo) shardCount() int {
+	if info.Shards == nil {
+		return 1
+	}
+	return len(info.Shards)
 }
 
 // manifest is the on-disk catalog of every namespace.

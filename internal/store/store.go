@@ -105,6 +105,11 @@ func sweepOrphans(dir string, m *manifest) error {
 		for _, seg := range info.Segments {
 			committed[filepath.Join(dir, seg.File)] = true
 		}
+		for _, sh := range info.Shards {
+			for _, seg := range sh.Segments {
+				committed[filepath.Join(dir, seg.File)] = true
+			}
+		}
 		if info.Blob != nil {
 			committed[filepath.Join(dir, info.Blob.File)] = true
 		}
@@ -190,8 +195,13 @@ func (s *Store) Writer(ns string) (*Writer, error) {
 	if s.writers[ns] {
 		return nil, fmt.Errorf("store: namespace %q already has an open writer", ns)
 	}
-	if info := s.manifest.Namespaces[ns]; info != nil && info.Kind == KindBlob {
-		return nil, fmt.Errorf("store: namespace %q holds a binary blob, not JSON segments", ns)
+	if info := s.manifest.Namespaces[ns]; info != nil {
+		if info.Kind == KindBlob {
+			return nil, fmt.Errorf("store: namespace %q holds a binary blob, not JSON segments", ns)
+		}
+		if info.Shards != nil {
+			return nil, fmt.Errorf("store: namespace %q is sharded; use ShardedWriter", ns)
+		}
 	}
 	if err := os.MkdirAll(filepath.Join(s.dir, nsDir(ns)), 0o755); err != nil {
 		return nil, err
@@ -337,7 +347,10 @@ func (s *Store) ScanContext(ctx context.Context, ns string, fn func(payload []by
 	})
 }
 
-// snapshot returns the committed segment list for a namespace.
+// snapshot returns the committed segment list for a namespace. A
+// sharded namespace's segments are listed shard 0 first, so a plain
+// Scan still sees every record (per-shard append order, shards
+// concatenated).
 func (s *Store) snapshot(ns string) ([]SegmentInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -348,6 +361,13 @@ func (s *Store) snapshot(ns string) ([]SegmentInfo, error) {
 	if info.Kind == KindBlob {
 		return nil, fmt.Errorf("store: namespace %q holds a binary blob, not JSON segments", ns)
 	}
+	if info.Shards != nil {
+		var segs []SegmentInfo
+		for _, sh := range info.Shards {
+			segs = append(segs, sh.Segments...)
+		}
+		return segs, nil
+	}
 	segs := make([]SegmentInfo, len(info.Segments))
 	copy(segs, info.Segments)
 	return segs, nil
@@ -357,6 +377,19 @@ func (s *Store) snapshot(ns string) ([]SegmentInfo, error) {
 // T.
 func ScanAs[T any](s *Store, ns string, fn func(rec T) error) error {
 	return s.Scan(ns, func(payload []byte) error {
+		var rec T
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("store: unmarshal record in %q: %w", ns, err)
+		}
+		return fn(rec)
+	})
+}
+
+// ScanAsContext is ScanAs bounded by the caller's context, checked
+// before every record — the ctx-first variant library code should use
+// so a deadline cuts long typed scans off mid-stream.
+func ScanAsContext[T any](ctx context.Context, s *Store, ns string, fn func(rec T) error) error {
+	return s.ScanContext(ctx, ns, func(payload []byte) error {
 		var rec T
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return fmt.Errorf("store: unmarshal record in %q: %w", ns, err)
@@ -390,9 +423,13 @@ type NamespaceStats struct {
 	Bytes    int64
 	// Kind mirrors the manifest's namespace kind ("" JSON, "blob").
 	Kind string
+	// Shards is the namespace's shard count (1 for legacy unsharded
+	// namespaces, 0 for blobs).
+	Shards int
 }
 
-// Stats returns committed accounting for the namespace.
+// Stats returns committed accounting for the namespace, summed across
+// shards for sharded namespaces.
 func (s *Store) Stats(ns string) (NamespaceStats, error) {
 	s.mu.Lock()
 	if info := s.manifest.Namespaces[ns]; info != nil && info.Kind == KindBlob {
@@ -410,6 +447,7 @@ func (s *Store) Stats(ns string) (NamespaceStats, error) {
 		return NamespaceStats{}, err
 	}
 	var st NamespaceStats
+	st.Shards, _ = s.ShardCount(ns)
 	st.Segments = len(segs)
 	for _, seg := range segs {
 		st.Records += seg.Records
@@ -419,9 +457,10 @@ func (s *Store) Stats(ns string) (NamespaceStats, error) {
 }
 
 // Compact rewrites all of a namespace's segments into a single new segment
-// and commits a manifest pointing only at it, reclaiming per-segment
-// overhead after many small flushes. Concurrent readers holding the old
-// snapshot keep working because old files are removed only after commit.
+// per shard and commits a manifest pointing only at them, reclaiming
+// per-segment overhead after many small flushes. Concurrent readers
+// holding the old snapshot keep working because old files are removed
+// only after commit.
 func (s *Store) Compact(ns string) error {
 	if s.readOnly {
 		return fmt.Errorf("store: namespace %q: handle is read-only", ns)
@@ -434,6 +473,17 @@ func (s *Store) Compact(ns string) error {
 	if s.writers[ns] {
 		s.mu.Unlock()
 		return fmt.Errorf("store: cannot compact %q while a writer is open", ns)
+	}
+	if s.manifest.Namespaces[ns].Shards != nil {
+		// Reserve the writer slot for the whole sharded compaction.
+		s.writers[ns] = true
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			delete(s.writers, ns)
+			s.mu.Unlock()
+		}()
+		return s.compactShards(ns)
 	}
 	// Reserve the writer slot so appends cannot interleave with compaction.
 	s.writers[ns] = true

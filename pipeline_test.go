@@ -29,7 +29,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if snap.Stats.StartupsCrawled != len(p.World.Startups) {
 		t.Fatalf("crawl incomplete: %d of %d startups", snap.Stats.StartupsCrawled, len(p.World.Startups))
 	}
-	a, err := p.Analyze(-1)
+	a, err := p.Analyze(context.Background(), -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if _, err := p.Crawl(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	a1, err := p.Analyze(1)
+	a1, err := p.Analyze(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,8 +10,14 @@
 #   - BENCH_PR7.json: delta-apply vs full-refreeze wall-clock for one
 #     crawl round's frozen artifact, and the serving hot-swap pause for
 #     the delta-refresh vs full-reload paths.
+#   - BENCH_PR8.json: the paper-scale out-of-core pipeline (744,036
+#     companies / 1,109,441 users) — generate/crawl/freeze/analyze
+#     wall-clock and peak RSS per stage. Takes minutes, so it only runs
+#     when opted in with BENCH_SCALE=paper.
 #
 # Usage: scripts/bench.sh [count]   (default 3 benchmark iterations)
+#        BENCH_SCALE=paper scripts/bench.sh   additionally runs the
+#        paper-scale stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -177,3 +183,18 @@ awk -v count="$COUNT" '
 
 cat "$OUT7"
 echo "wrote $OUT7"
+
+# ---- PR 8: paper-scale out-of-core pipeline (opt-in) ----
+# The full run streams 744,036 companies / 1,109,441 users through
+# generate -> crawl -> freeze -> analyze and reports per-stage wall-clock
+# plus peak RSS (VmHWM). It takes minutes of CPU, so CI skips it unless
+# explicitly requested.
+if [ "${BENCH_SCALE:-}" = "paper" ]; then
+  OUT8=BENCH_PR8.json
+  SCALE_DIR=$(mktemp -d)
+  trap 'rm -f "$RAW" "$RAW5" "$RAW6" "$RAW7"; rm -rf "$SCALE_DIR"' EXIT
+  go run ./cmd/crowdscale -scale 1 -shards 16 -dir "$SCALE_DIR" -json "$OUT8"
+  echo "wrote $OUT8"
+else
+  echo "skipping paper-scale stage (set BENCH_SCALE=paper to run it)"
+fi

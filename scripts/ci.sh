@@ -45,6 +45,13 @@ go test -race -run 'TestIndexRouteMatchesScanRouteProperty|TestCorruptIndexBlobF
 # and the crawl-diff fast path must agree with the full re-merge.
 go test -race -run 'TestDeltaRefreezeEquivalenceProperty|TestRecoverChainAfterCrash|TestDiffCrawlFastSlowAgree' ./internal/core
 
+# Sharded==unsharded byte-identity under the race detector: the
+# streaming generator must emit record-identical worlds to the in-memory
+# path, and the shard-at-a-time freeze must produce frozen artifacts
+# byte-identical to the single-pass builder (small-K worlds at
+# 64/512/4096 entities, plus the K=1 legacy-store degenerate case).
+go test -race -run 'TestGenerateToMatchesGenerate|TestShardedFreeze' ./internal/ecosystem ./internal/core
+
 # Per-package coverage floors (percent).
 check_coverage() {
   local pkg="$1" floor="$2" out pct
@@ -84,3 +91,7 @@ check_coverage ./internal/index 70
 # artifacts; its codec and the delta apply kernel are the foundation of
 # the delta==refreeze byte-identity guarantee.
 check_coverage ./internal/snapshot 70
+# The synthetic ecosystem is the ground truth every equivalence suite
+# measures against (streaming==in-memory generation, sharded==unsharded
+# freeze), so its distribution and emission paths carry a floor too.
+check_coverage ./internal/ecosystem 70
