@@ -75,6 +75,53 @@ func TestRunWithoutModuleExitsTwo(t *testing.T) {
 	}
 }
 
+func TestFixAllowDropsStaleAndRewritesSorted(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module fixture.test/m\n\ngo 1.22\n",
+		"crowdlint.allow": `# header comment, preserved verbatim.
+viewonly:internal/core.Gone
+goleak:internal/a.Spawn
+`,
+		"internal/a/a.go": `package a
+
+func Spawn() {
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := runFixAllow(dir, &out, &errOut); code != 0 {
+		t.Fatalf("runFixAllow = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "kept    goleak:internal/a.Spawn") {
+		t.Errorf("output %q missing the kept entry", got)
+	}
+	if !strings.Contains(got, "dropped viewonly:internal/core.Gone") {
+		t.Errorf("output %q missing the dropped entry", got)
+	}
+	if !strings.Contains(got, "1 kept, 1 dropped") {
+		t.Errorf("output %q missing the summary line", got)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "crowdlint.allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# header comment, preserved verbatim.\ngoleak:internal/a.Spawn\n"
+	if string(data) != want {
+		t.Errorf("rewritten allowlist = %q, want %q", data, want)
+	}
+	// After the rewrite the module lints clean: the stale entry is gone
+	// and the remaining entry still absorbs its finding.
+	var lintOut, lintErr bytes.Buffer
+	if code := run(dir, &lintOut, &lintErr); code != 0 {
+		t.Fatalf("post-rewrite run = %d, want 0; %s%s", code, lintOut.String(), lintErr.String())
+	}
+}
+
 func TestRunResolvesRootFromSubdirectory(t *testing.T) {
 	dir := writeTree(t, map[string]string{
 		"go.mod":            "module fixture.test/m\n\ngo 1.22\n",

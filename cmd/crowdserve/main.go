@@ -90,7 +90,12 @@ func main() {
 	}()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// drained closes only after Shutdown returns. ListenAndServe returns
+	// ErrServerClosed the moment Shutdown STARTS, so exiting main on it
+	// alone would race the drain and kill in-flight requests mid-response.
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
 		log.Print("signal received; draining")
 		srv.BeginDrain()
@@ -105,5 +110,6 @@ func main() {
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	<-drained
 	log.Print("drained; bye")
 }

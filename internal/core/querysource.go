@@ -63,6 +63,11 @@ const maxCachedSnapshots = 2
 // index load error is sticky — the blob is immutable, so retrying
 // cannot help, and the planner's scan fallback must stay cheap.
 type frozenEntry struct {
+	// mu guards this entry's fields. Blob loads happen OUTSIDE both mu
+	// and q.mu (lockdisc: a multi-second whole-artifact read must not
+	// convoy queries against other snapshots); racing loaders decode the
+	// same immutable artifact and the first install wins.
+	mu     sync.Mutex
 	fs     *FrozenSnapshot
 	tables map[string][][]byte // "companies"/"investors" -> per-row JSON payloads
 
@@ -136,14 +141,22 @@ func (q *QuerySource) entry(snap int) *frozenEntry {
 
 // frozenFor returns the decoded snapshot and its payload tables,
 // loading and caching them on first use. Load errors are not cached:
-// they are rare and retrying costs one blob read.
+// they are rare and retrying costs one blob read. The load itself runs
+// with no lock held — concurrent first touches of the same snapshot may
+// decode the artifact twice, but a slow disk read never blocks queries
+// against an already-cached snapshot.
 func (q *QuerySource) frozenFor(snap int) (*frozenEntry, error) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	ent := q.entry(snap)
+	q.mu.Unlock()
+
+	ent.mu.Lock()
 	if ent.fs != nil {
+		ent.mu.Unlock()
 		return ent, nil
 	}
+	ent.mu.Unlock()
+
 	fs, err := LoadFrozen(q.Store, snap)
 	if err != nil {
 		return nil, err
@@ -166,7 +179,12 @@ func (q *QuerySource) frozenFor(snap int) (*frozenEntry, error) {
 		}
 		tables["investors"][i] = payload
 	}
-	ent.fs, ent.tables = fs, tables
+
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.fs == nil { // first install wins; a racing loader's work is discarded
+		ent.fs, ent.tables = fs, tables
+	}
 	return ent, nil
 }
 
@@ -180,16 +198,26 @@ func (q *QuerySource) TableIndex(ns string) (*index.TableIndex, error) {
 		return nil, nil
 	}
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	ent := q.entry(snap)
-	if !ent.idxLoaded {
-		ent.idx, ent.idxErr = LoadIndex(q.Store, snap)
-		ent.idxLoaded = true
+	q.mu.Unlock()
+
+	ent.mu.Lock()
+	loaded, idx, idxErr := ent.idxLoaded, ent.idx, ent.idxErr
+	ent.mu.Unlock()
+	if !loaded {
+		idx, idxErr = LoadIndex(q.Store, snap) // no lock held across the blob read
+		ent.mu.Lock()
+		if ent.idxLoaded { // racing loader installed first; its result is canonical
+			idx, idxErr = ent.idx, ent.idxErr
+		} else {
+			ent.idx, ent.idxErr, ent.idxLoaded = idx, idxErr, true
+		}
+		ent.mu.Unlock()
 	}
-	if ent.idxErr != nil {
-		return nil, ent.idxErr
+	if idxErr != nil {
+		return nil, idxErr
 	}
-	return ent.idx[table], nil
+	return idx[table], nil
 }
 
 // ScanContext streams the namespace's records as JSON payloads under the
@@ -268,11 +296,14 @@ func (q *QuerySource) scanFrozen(ctx context.Context, snap int, table string, ro
 
 // chainFor returns the marshalled diff tables for a version pair,
 // materializing both endpoints through the snapshot chain on first use.
+// Like frozenFor, materialization runs unlocked: racing builders derive
+// identical tables from immutable artifacts and the first install wins.
 func (q *QuerySource) chainFor(from, to int) (map[string][][]byte, error) {
 	key := fmt.Sprintf("%d-%d", from, to)
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	if tables, ok := q.chains[key]; ok {
+	tables, ok := q.chains[key]
+	q.mu.Unlock()
+	if ok {
 		return tables, nil
 	}
 	c, err := LoadChain(q.Store)
@@ -283,7 +314,7 @@ func (q *QuerySource) chainFor(from, to int) (map[string][][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	tables := map[string][][]byte{
+	tables = map[string][][]byte{
 		"companies": make([][]byte, len(cd.Companies)),
 		"investors": make([][]byte, len(cd.Investors)),
 	}
@@ -300,6 +331,11 @@ func (q *QuerySource) chainFor(from, to int) (map[string][][]byte, error) {
 			return nil, err
 		}
 		tables["investors"][i] = payload
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if cached, ok := q.chains[key]; ok { // racing builder installed first
+		return cached, nil
 	}
 	if q.chains == nil {
 		q.chains = make(map[string]map[string][][]byte)

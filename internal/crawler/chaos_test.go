@@ -13,6 +13,7 @@ import (
 
 	"crowdscope/internal/apiserver"
 	"crowdscope/internal/ecosystem"
+	"crowdscope/internal/leakcheck"
 	"crowdscope/internal/store"
 )
 
@@ -80,6 +81,7 @@ func TestChaosCrawlKillResumeBitIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos suite is not short")
 	}
+	leakcheck.Check(t)
 	ref := referenceCrawl(t)
 	w := testWorld(t)
 

@@ -10,6 +10,7 @@ import (
 
 	"crowdscope/internal/apiserver"
 	"crowdscope/internal/ecosystem"
+	"crowdscope/internal/leakcheck"
 	"crowdscope/internal/store"
 )
 
@@ -182,6 +183,9 @@ func TestCrawlRotatesTokensUnderRateLimit(t *testing.T) {
 }
 
 func TestCrawlContextCancellation(t *testing.T) {
+	// Early cancellation is where worker leaks hide: the pool's workers
+	// must all join even when ctx dies before the first fetch.
+	leakcheck.Check(t)
 	_, _, client := harness(t, apiserver.Options{})
 	cr := &Crawler{Client: client, Workers: 2}
 	ctx, cancel := context.WithCancel(context.Background())

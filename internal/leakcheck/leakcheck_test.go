@@ -1,0 +1,176 @@
+package leakcheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB records cleanups and errors instead of failing the real test,
+// so the failure path of Check is itself testable.
+type fakeTB struct {
+	testing.TB // panics on unimplemented methods: the test only uses these three
+	cleanups   []func()
+	errors     []string
+}
+
+func (f *fakeTB) Helper()           {}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestCheckCleanTest(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	f := &fakeTB{}
+	Check(f, Deadline(50*time.Millisecond))
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	t.Cleanup(func() { close(release) })
+
+	f.runCleanups()
+	if len(f.errors) == 0 {
+		t.Fatal("Check did not report the blocked goroutine")
+	}
+	if !strings.Contains(f.errors[0], "leaked goroutine") {
+		t.Fatalf("unexpected error text: %s", f.errors[0])
+	}
+	if !strings.Contains(f.errors[0], "TestCheckDetectsLeak") {
+		t.Fatalf("leak report does not name the spawning test:\n%s", f.errors[0])
+	}
+}
+
+func TestCheckWaitsForLateExit(t *testing.T) {
+	f := &fakeTB{}
+	Check(f, Deadline(2*time.Second))
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		time.Sleep(30 * time.Millisecond) // exits shortly AFTER the cleanup starts polling
+	}()
+	<-started
+
+	f.runCleanups()
+	if len(f.errors) != 0 {
+		t.Fatalf("Check flagged a goroutine that exits within the deadline: %v", f.errors)
+	}
+}
+
+func TestIgnorePrefixExemptsGoroutine(t *testing.T) {
+	f := &fakeTB{}
+	Check(f, Deadline(50*time.Millisecond),
+		IgnorePrefix("crowdscope/internal/leakcheck.TestIgnorePrefixExemptsGoroutine"))
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	t.Cleanup(func() { close(release) })
+
+	f.runCleanups()
+	if len(f.errors) != 0 {
+		t.Fatalf("IgnorePrefix did not exempt the creator-matched goroutine: %v", f.errors)
+	}
+}
+
+const sampleDump = `goroutine 1 [running]:
+main.main()
+	/src/main.go:10 +0x20
+
+goroutine 18 [chan receive]:
+crowdscope/internal/parallel.Each.func1(0xc000010000)
+	/src/pool.go:42 +0x65
+created by crowdscope/internal/parallel.Each in goroutine 1
+	/src/pool.go:40 +0x1c4
+
+goroutine 19 [select]:
+net/http.(*persistConn).readLoop(0xc0001b2000)
+	/go/src/net/http/transport.go:2218 +0xd25
+created by net/http.(*Transport).dialConn in goroutine 12
+	/go/src/net/http/transport.go:1798 +0x152f
+
+garbage that is not a goroutine header`
+
+func TestParseStacks(t *testing.T) {
+	gs := parseStacks(sampleDump)
+	if len(gs) != 3 {
+		t.Fatalf("parsed %d goroutines, want 3", len(gs))
+	}
+	main := gs[0]
+	if main.ID != 1 || main.State != "running" || main.Top != "main.main" || main.Creator != "" {
+		t.Fatalf("main goroutine parsed wrong: %s", main)
+	}
+	worker := gs[1]
+	if worker.ID != 18 || worker.State != "chan receive" {
+		t.Fatalf("worker header parsed wrong: %s", worker)
+	}
+	if worker.Top != "crowdscope/internal/parallel.Each.func1" {
+		t.Fatalf("worker top frame = %q", worker.Top)
+	}
+	if worker.Creator != "crowdscope/internal/parallel.Each" {
+		t.Fatalf("worker creator = %q", worker.Creator)
+	}
+	if !strings.Contains(worker.Full, "pool.go:42") {
+		t.Fatalf("Full lost the verbatim block: %q", worker.Full)
+	}
+}
+
+func TestDefaultIgnoreFiltersHTTPKeepAlive(t *testing.T) {
+	gs := parseStacks(sampleDump)
+	conn := gs[2]
+	if !ignored(conn, defaultIgnore) {
+		t.Fatalf("persistConn goroutine not filtered: %s", conn)
+	}
+	if ignored(gs[1], defaultIgnore) {
+		t.Fatalf("module worker goroutine wrongly filtered: %s", gs[1])
+	}
+}
+
+func TestFuncNameKeepsReceiverParens(t *testing.T) {
+	if got := funcName("net/http.(*persistConn).readLoop(0xc0001b2000)"); got != "net/http.(*persistConn).readLoop" {
+		t.Fatalf("funcName = %q", got)
+	}
+	if got := funcName("frame-without-args"); got != "frame-without-args" {
+		t.Fatalf("funcName = %q", got)
+	}
+}
+
+func TestCountSeesLiveGoroutines(t *testing.T) {
+	before := Count()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	if during := Count(); during <= before-1 {
+		t.Fatalf("Count() = %d during spawn, baseline %d", during, before)
+	}
+	close(release)
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// viewonlyFixture is a module with one real viewonly finding, absorbed
+// by an allowlist entry, plus whatever extra allow lines a test wants.
+func viewonlyFixture(t *testing.T, allow string) *Module {
+	t.Helper()
+	return writeModule(t, map[string]string{
+		"crowdlint.allow":     allow,
+		"internal/graph/g.go": "package graph\n\ntype Directed struct{ N int }\n",
+		"internal/core/c.go": "package core\n\nimport \"fixture.test/m/internal/graph\"\n\n" +
+			"func Build() *graph.Directed { return &graph.Directed{} }\n",
+	})
+}
+
+func TestAllowlistMalformedLines(t *testing.T) {
+	m := viewonlyFixture(t, `viewonly:internal/core.Build
+two words on a line
+nosuch:internal/core.Build
+`)
+	got := findings(t, m, AnalyzerViewOnly)
+	wantFindings(t, got, "crowdlint.allow:2:[lint]", "crowdlint.allow:3:[lint]")
+}
+
+func TestAllowlistPrefixlessEntryIsViewonly(t *testing.T) {
+	m := viewonlyFixture(t, "internal/core.Build\n")
+	wantFindings(t, findings(t, m, AnalyzerViewOnly))
+}
+
+func TestAllowlistStaleEntryReported(t *testing.T) {
+	m := viewonlyFixture(t, `viewonly:internal/core.Build
+viewonly:internal/core.Gone
+`)
+	wantFindings(t, findings(t, m, AnalyzerViewOnly), "crowdlint.allow:2:[viewonly]")
+}
+
+func TestRewriteAllowlistDropsStaleSortsAndKeepsComments(t *testing.T) {
+	m := viewonlyFixture(t, `# header: the exception list.
+
+# Build is the blessed façade constructor.
+viewonly:internal/core.Build   # trailing note
+viewonly:internal/core.Gone
+goleak:internal/core.Gone
+`)
+	kept, dropped, err := RewriteAllowlist(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"viewonly:internal/core.Build"}; !equalStrings(kept, want) {
+		t.Fatalf("kept = %v, want %v", kept, want)
+	}
+	if want := []string{"goleak:internal/core.Gone", "viewonly:internal/core.Gone"}; !equalStrings(dropped, want) {
+		t.Fatalf("dropped = %v, want %v", dropped, want)
+	}
+	data, err := os.ReadFile(filepath.Join(m.Root, AllowlistFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.HasPrefix(got, "# header: the exception list.\n") {
+		t.Fatalf("header not preserved:\n%s", got)
+	}
+	if !strings.Contains(got, "# Build is the blessed façade constructor.\nviewonly:internal/core.Build   # trailing note\n") {
+		t.Fatalf("entry comment or trailing note lost:\n%s", got)
+	}
+	if strings.Contains(got, "Gone") {
+		t.Fatalf("stale entries survived the rewrite:\n%s", got)
+	}
+	// The rewrite is observed on the next Run: no stale findings remain.
+	wantFindings(t, findings(t, m, AnalyzerViewOnly, AnalyzerGoLeak))
+}
+
+func TestRewriteAllowlistIsIdempotentAndDeterministic(t *testing.T) {
+	m := viewonlyFixture(t, "viewonly:internal/core.Build\n")
+	if _, _, err := RewriteAllowlist(m); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(filepath.Join(m.Root, AllowlistFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RewriteAllowlist(m); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(filepath.Join(m.Root, AllowlistFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("rewrite not idempotent:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+func TestRewriteAllowlistNoFileIsNoop(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": "package a\n\nfunc F() {}\n",
+	})
+	kept, dropped, err := RewriteAllowlist(m)
+	if err != nil || kept != nil || dropped != nil {
+		t.Fatalf("RewriteAllowlist on missing file = (%v, %v, %v), want nil/nil/nil", kept, dropped, err)
+	}
+	if _, statErr := os.Stat(filepath.Join(m.Root, AllowlistFile)); !os.IsNotExist(statErr) {
+		t.Fatalf("rewrite conjured an allowlist file: %v", statErr)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

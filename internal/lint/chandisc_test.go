@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChanDiscFlagsSendWithoutCloseOwner(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+var Events = make(chan int, 4)
+
+func Publish(v int) {
+	Events <- v
+}
+`,
+	})
+	got := m.Run([]*Analyzer{AnalyzerChanDisc})
+	wantFindings(t, findings(t, m, AnalyzerChanDisc), "internal/a/a.go:6:[chandisc]")
+	if !strings.Contains(got[0].Message, "no close-owner") {
+		t.Fatalf("message = %q, want the close-owner wording", got[0].Message)
+	}
+}
+
+func TestChanDiscFlagsStructFieldChannelWithoutClose(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+type Bus struct{ ch chan int }
+
+func (b *Bus) Send(v int) {
+	b.ch <- v
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerChanDisc), "internal/a/a.go:6:[chandisc]")
+}
+
+func TestChanDiscCleanWithCloseOwnerAndTokenChannels(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+var Events = make(chan int, 4)
+
+func Publish(v int) {
+	Events <- v
+}
+
+func Shutdown() {
+	close(Events)
+}
+
+var tokens = make(chan struct{}, 4)
+
+func Acquire() {
+	tokens <- struct{}{}
+}
+
+func Local() {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerChanDisc))
+}
+
+func TestChanDiscFlagsMultipleClosers(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+var done = make(chan int)
+
+func StopA() {
+	close(done)
+}
+
+func StopB() {
+	close(done)
+}
+`,
+	})
+	got := m.Run([]*Analyzer{AnalyzerChanDisc})
+	wantFindings(t, findings(t, m, AnalyzerChanDisc),
+		"internal/a/a.go:6:[chandisc]", "internal/a/a.go:10:[chandisc]")
+	if !strings.Contains(got[0].Message, "exactly one close-owner") {
+		t.Fatalf("message = %q, want the single-closer wording", got[0].Message)
+	}
+}
+
+func TestChanDiscFlagsNonConstantBufferInHotPackageOnly(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"go.mod": "module crowdscope\n\ngo 1.22\n",
+		"internal/parallel/p.go": `package parallel
+
+func NewQueue(n int) chan int {
+	return make(chan int, n)
+}
+
+func NewFixed() chan int {
+	return make(chan int, 8)
+}
+`,
+		"internal/a/a.go": `package a
+
+func NewQueue(n int) chan int {
+	return make(chan int, n)
+}
+`,
+	})
+	got := m.Run([]*Analyzer{AnalyzerChanDisc})
+	wantFindings(t, findings(t, m, AnalyzerChanDisc), "internal/parallel/p.go:4:[chandisc]")
+	if !strings.Contains(got[0].Message, "hot package internal/parallel") {
+		t.Fatalf("message = %q, want the hot-package wording", got[0].Message)
+	}
+}
+
+func TestChanDiscSuppressionWithReason(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"go.mod": "module crowdscope\n\ngo 1.22\n",
+		"internal/serve/g.go": `package serve
+
+func NewQueue(n int) chan int {
+	//lint:ignore chandisc operator-sized admission queue; validated at construction
+	return make(chan int, n)
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerChanDisc))
+}

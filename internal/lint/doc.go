@@ -25,6 +25,23 @@
 //     returns are not silently discarded with `_ =`.
 //   - binlayout: the CSFROZ01 and segment wire formats stay fixed-width,
 //     keyed and documented.
+//   - planfirst: inside internal/query, raw record scans happen only in
+//     the two functions that execute an already-planned route.
+//   - goleak: every `go` statement has a provable exit path (a ctx.Done
+//     receive, a closed-channel receive, a waited WaitGroup, or a body
+//     with no unbounded loop); fire-and-forget spawns are findings
+//     unless sanctioned in crowdlint.allow.
+//   - lockdisc: no mutex is held across blocking work (directly or
+//     through the intra-module call graph), no sync primitive is copied
+//     by value, and no function double-locks the same receiver.
+//   - chandisc: every tracked data channel has exactly one close-owner
+//     in its defining package, and channel buffer sizes in the hot
+//     packages are compile-time constants, not tuning knobs in disguise.
+//
+// The concurrency analyzers share a lightweight intra-module call graph
+// (callgraph.go): a callee map over typed ASTs with a transitive
+// "does this call chain block?" query, so lockdisc sees through helper
+// functions and goleak can classify spawns of named workers.
 //
 // Suppression syntax, checked by the framework itself:
 //

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerGoLeak enforces goroutine ownership: every `go` statement must
+// carry a provable exit path, so long-lived processes (the serving layer,
+// the crawl fleet) cannot accumulate leaked workers. A spawn passes when
+// the spawned body — a function literal, or the declaration a named-
+// function spawn resolves to via the module call graph — shows one of:
+//
+//   - ctx exit: a receive or select case on a ctx.Done()-derived channel
+//     (any context.Context value's Done()).
+//   - close exit: a receive from (or range over) a channel this module
+//     provably closes — a close(ch) on the same channel object exists in
+//     the defining package.
+//   - wait supervision: the body signals a sync.WaitGroup (wg.Done) and
+//     the spawning function waits on one (wg.Wait) — the internal/parallel
+//     pool's shape, and the errgroup shape by another name.
+//   - bounded body: no infinite `for {}` loop and no channel operations at
+//     all; straight-line work provably terminates (callees are assumed to
+//     return — the analysis is shallow by design).
+//
+// Anything else is a fire-and-forget goroutine: a finding, unless the
+// spawning function is named in crowdlint.allow as a sanctioned spawn
+// site (goleak:<pkg>.<Func>) — the escape hatch for process-lifetime
+// goroutines a `main` deliberately never joins.
+var AnalyzerGoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "go statements need a provable exit path: ctx.Done, a closed channel, or a waited WaitGroup",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(m *Module) []Diagnostic {
+	var out []Diagnostic
+	al := m.loadAllow()
+	allow, _ := al.forAnalyzer("goleak")
+	g := m.callgraph()
+	closed := packageClosedChans(m)
+
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			// Function nodes, for resolving the spawner's enclosing chain.
+			var funcs []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					funcs = append(funcs, n)
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				key := enclosingAllowKey(pkg, funcs, gs.Pos())
+				if allow[key] {
+					al.markUsed("goleak", key)
+					return true
+				}
+				if why := goStmtLeakRisk(m, g, pkg, funcs, gs, closed); why != "" {
+					out = append(out, m.diag("goleak", gs.Pos(),
+						"%s; give the goroutine a ctx.Done/closed-channel exit or a waited WaitGroup, or add %q to %s",
+						why, "goleak:"+key, AllowlistFile))
+				}
+				return true
+			})
+		}
+	}
+	return append(out, al.stale("goleak")...)
+}
+
+// goStmtLeakRisk classifies one go statement, returning "" when an exit
+// path is proven and a finding message otherwise.
+func goStmtLeakRisk(m *Module, g *callGraph, pkg *Package, funcs []ast.Node, gs *ast.GoStmt, closed map[types.Object]bool) string {
+	body, bodyInfo := spawnedBody(g, pkg, gs.Call)
+	if body == nil {
+		return "goroutine body is not statically resolvable (interface method or function value); its exit path cannot be proven"
+	}
+	ex := scanExitPaths(bodyInfo, body, closed)
+	switch {
+	case ex.ctxDone:
+		return ""
+	case ex.closedChanRecv:
+		return ""
+	case ex.wgDone && chainHasWGWait(pkg.Info, funcs, gs):
+		return ""
+	case ex.wgDone:
+		return "goroutine signals a WaitGroup that the spawning function never waits on"
+	case ex.infiniteLoop:
+		return "goroutine loops forever with no ctx.Done or closed-channel receive"
+	case ex.chanOps:
+		return "fire-and-forget goroutine blocks on channel operations with no provable exit"
+	default:
+		return ""
+	}
+}
+
+// spawnedBody resolves the body a go statement runs: a function
+// literal's own body, or the declaration body of a statically-resolved
+// named function (possibly in another package of the module, whose
+// types.Info is returned alongside).
+func spawnedBody(g *callGraph, pkg *Package, call *ast.CallExpr) (*ast.BlockStmt, *types.Info) {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, pkg.Info
+	}
+	if fn := calleeFunc(pkg.Info, call); fn != nil {
+		if fd := g.decls[fn]; fd != nil {
+			return fd.decl.Body, fd.pkg.Info
+		}
+	}
+	return nil, nil
+}
+
+// exitScan aggregates what a spawned body contains.
+type exitScan struct {
+	ctxDone        bool // receive/select on some ctx.Done()
+	closedChanRecv bool // receive from a channel the package closes
+	wgDone         bool // wg.Done() call (deferred or direct)
+	infiniteLoop   bool // for {} with no condition and no range
+	chanOps        bool // any send, receive or select
+}
+
+// scanExitPaths walks a spawned body (including nested literals: a
+// worker often wraps its loop in a closure) and records exit evidence.
+func scanExitPaths(info *types.Info, body *ast.BlockStmt, closed map[types.Object]bool) exitScan {
+	var ex exitScan
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, nn); fn != nil {
+				if fn.Name() == "Done" && isContextRecv(fn) {
+					ex.ctxDone = true
+				}
+				if fn.Name() == "Done" && isWaitGroupRecv(fn) {
+					ex.wgDone = true
+				}
+			}
+		case *ast.SendStmt:
+			ex.chanOps = true
+		case *ast.UnaryExpr:
+			if nn.Op.String() == "<-" {
+				ex.chanOps = true
+				if obj := chanOperandObj(info, nn.X); obj != nil && closed[obj] {
+					ex.closedChanRecv = true
+				}
+			}
+		case *ast.SelectStmt:
+			ex.chanOps = true
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[nn.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					ex.chanOps = true
+					if obj := chanOperandObj(info, nn.X); obj != nil && closed[obj] {
+						ex.closedChanRecv = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if nn.Cond == nil {
+				ex.infiniteLoop = true
+			}
+		}
+		return true
+	})
+	return ex
+}
+
+// packageClosedChans collects every channel object the module calls
+// close() on, across all packages — the candidates for the close-exit
+// rule.
+func packageClosedChans(m *Module) map[types.Object]bool {
+	closed := map[types.Object]bool{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "close" {
+					return true
+				}
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+					return true
+				}
+				if obj := chanOperandObj(pkg.Info, call.Args[0]); obj != nil {
+					closed[obj] = true
+				}
+				return true
+			})
+		}
+	}
+	return closed
+}
+
+// chanOperandObj resolves a channel expression to its variable object:
+// a plain identifier or a field selector. Anything more complex (map
+// index, function result) is untracked.
+func chanOperandObj(info *types.Info, e ast.Expr) types.Object {
+	switch ee := e.(type) {
+	case *ast.Ident:
+		return info.Uses[ee]
+	case *ast.SelectorExpr:
+		return info.Uses[ee.Sel]
+	case *ast.CallExpr:
+		// ctx.Done() and friends: not a storable channel object.
+		return nil
+	case *ast.ParenExpr:
+		return chanOperandObj(info, ee.X)
+	}
+	return nil
+}
+
+// chainHasWGWait reports whether any function enclosing the go
+// statement calls (*sync.WaitGroup).Wait — the spawner-side half of
+// wait supervision.
+func chainHasWGWait(info *types.Info, funcs []ast.Node, gs *ast.GoStmt) bool {
+	for _, fnode := range funcs {
+		if !(fnode.Pos() <= gs.Pos() && gs.End() <= fnode.End()) {
+			continue
+		}
+		found := false
+		ast.Inspect(fnode, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(info, call); fn != nil && fn.Name() == "Wait" && isWaitGroupRecv(fn) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingAllowKey spells the innermost enclosing declared function of
+// a position as an allowlist key (<pkg>.<Func> / <pkg>.<Type>.<Method>);
+// function literals attribute to the declaration that contains them.
+func enclosingAllowKey(pkg *Package, funcs []ast.Node, pos token.Pos) string {
+	prefix := pkg.Rel
+	if prefix == "" {
+		prefix = "."
+	}
+	var best *ast.FuncDecl
+	for _, fnode := range funcs {
+		fd, ok := fnode.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Pos() <= pos && pos <= fd.End() {
+			if best == nil || fd.Pos() > best.Pos() {
+				best = fd
+			}
+		}
+	}
+	if best == nil {
+		return prefix + ".?"
+	}
+	if best.Recv != nil && len(best.Recv.List) == 1 {
+		if obj, ok := pkg.Info.Defs[best.Name].(*types.Func); ok {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if n := namedOf(sig.Recv().Type()); n != nil {
+					return prefix + "." + n.Obj().Name() + "." + best.Name.Name
+				}
+			}
+		}
+	}
+	return prefix + "." + best.Name.Name
+}
+
+func isContextRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isContextType(sig.Recv().Type())
+}
+
+func isWaitGroupRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOf(sig.Recv().Type())
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}

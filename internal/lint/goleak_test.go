@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGoLeakFlagsInfiniteLoopWorker(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+func Spawn() {
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerGoLeak), "internal/a/a.go:4:[goleak]")
+}
+
+func TestGoLeakFlagsUnexitableChannelWorker(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+func Pump(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerGoLeak), "internal/a/a.go:4:[goleak]")
+}
+
+func TestGoLeakFlagsUnwaitedWaitGroup(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+import "sync"
+
+func Fire(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+}
+`,
+	})
+	got := findings(t, m, AnalyzerGoLeak)
+	wantFindings(t, got, "internal/a/a.go:7:[goleak]")
+	d := m.Run([]*Analyzer{AnalyzerGoLeak})[0]
+	if !strings.Contains(d.Message, "never waits") {
+		t.Fatalf("message = %q, want the unwaited-WaitGroup wording", d.Message)
+	}
+}
+
+func TestGoLeakFlagsNamedFunctionSpawnViaCallGraph(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+func worker() {
+	for {
+	}
+}
+
+func Run() {
+	go worker()
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerGoLeak), "internal/a/a.go:9:[goleak]")
+}
+
+func TestGoLeakAcceptsProvableExits(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+import (
+	"context"
+	"sync"
+)
+
+func Watch(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func Consume() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	close(ch)
+}
+
+func Fan(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func Quick() {
+	go func() {
+		println("bounded straight-line work")
+	}()
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerGoLeak))
+}
+
+func TestGoLeakSuppressionWithReason(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+func Spawn() {
+	//lint:ignore goleak process-lifetime metrics flusher; the OS reaps it at exit
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+	})
+	wantFindings(t, findings(t, m, AnalyzerGoLeak))
+}
+
+func TestGoLeakAllowlistSanctionsSpawnSiteAndReportsStale(t *testing.T) {
+	m := writeModule(t, map[string]string{
+		"crowdlint.allow": `goleak:internal/a.Spawn   # daemon workers, joined by the OS
+goleak:internal/a.Gone
+`,
+		"internal/a/a.go": `package a
+
+func Spawn() {
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+	})
+	// The Spawn entry absorbs the finding; the Gone entry matches nothing
+	// and is reported stale at its allowlist line.
+	wantFindings(t, findings(t, m, AnalyzerGoLeak), "crowdlint.allow:2:[goleak]")
+}

@@ -1,0 +1,441 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AnalyzerLockDisc enforces mutex discipline on three fronts:
+//
+//   - held-across-blocking: a sync.Mutex/RWMutex acquired in a function
+//     must not stay held across a blocking call. The blocking set is
+//     ctxthread's (sleeps, dials, HTTP, durable store writes, serve
+//     refresh) plus (*store.Store).GetBlob — whole-artifact disk reads —
+//     and it propagates transitively through the module call graph, so a
+//     lock held across core.LoadFrozen is reported even though the
+//     blocking syscall is three calls down. internal/store itself is
+//     exempt: its mutex serializes the store's own I/O by design.
+//   - lock copies: assignments and call arguments that copy a value whose
+//     type (field-sensitively, through nested structs and arrays) contains
+//     a sync.Mutex, RWMutex, WaitGroup, Once or Cond. go vet's copylocks
+//     catches method-set copies; this check also flags copies hidden
+//     behind module-local struct nesting.
+//   - double-lock: a second x.Lock()/x.RLock() on the same receiver along
+//     a straight-line intra-function path with no intervening unlock —
+//     an unconditional self-deadlock.
+//
+// The analysis is intra-function and flow-insensitive across branches: a
+// nested block that unlocks anywhere is treated as releasing (no finding
+// inside or after it), trading missed reports for near-zero false
+// positives.
+var AnalyzerLockDisc = &Analyzer{
+	Name: "lockdisc",
+	Doc:  "no locks held across blocking calls, no lock copies, no double-lock paths",
+	Run:  runLockDisc,
+}
+
+func runLockDisc(m *Module) []Diagnostic {
+	var out []Diagnostic
+	storePath := m.internalPath("internal/store")
+	servePath := m.internalPath("internal/serve")
+	seed := func(fn *types.Func) string {
+		if what := blockingCall(fn, storePath, servePath); what != "" {
+			return what
+		}
+		return lockDiscExtraBlocking(fn, storePath)
+	}
+	blocking := m.callgraph().blockingClosure(seed)
+
+	for _, pkg := range m.Packages {
+		exemptHeld := pkg.Rel == "internal/store"
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &lockWalker{
+					m: m, info: pkg.Info, seed: seed, blocking: blocking,
+					exemptHeld: exemptHeld,
+				}
+				w.walkFuncBody(fd.Body)
+				out = append(out, w.diags...)
+			}
+		}
+	}
+
+	out = append(out, runLockCopies(m)...)
+	return out
+}
+
+// lockDiscExtraBlocking extends the ctxthread blocking set with reads
+// that are cheap to name but expensive to sit on: whole-blob loads.
+func lockDiscExtraBlocking(fn *types.Func, storePath string) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := namedOf(sig.Recv().Type())
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return ""
+	}
+	if recv.Obj().Pkg().Path() == storePath && recv.Obj().Name() == "Store" && fn.Name() == "GetBlob" {
+		return "(*store.Store).GetBlob (whole-artifact read)"
+	}
+	return ""
+}
+
+// lockWalker tracks held mutexes along one function's straight-line
+// statement lists. Nested function literals get a fresh walker: they run
+// later, under their own locking discipline.
+type lockWalker struct {
+	m          *Module
+	info       *types.Info
+	seed       func(*types.Func) string
+	blocking   map[*types.Func]blockReason
+	exemptHeld bool
+	diags      []Diagnostic
+}
+
+// walkFuncBody analyzes one function body from an empty held set.
+func (w *lockWalker) walkFuncBody(body *ast.BlockStmt) {
+	w.walkBlock(body.List, map[string]bool{})
+}
+
+// walkBlock processes a statement list in order, mutating held as locks
+// are taken and released, and recursing into nested control flow with a
+// copy of the current held set.
+func (w *lockWalker) walkBlock(stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if recv, kind := lockOpIn(w.info, s.X); kind != "" {
+				switch kind {
+				case "lock":
+					if held[recv] {
+						w.diags = append(w.diags, w.m.diag("lockdisc", s.Pos(),
+							"%s locked again while already held on this path (self-deadlock)", recv))
+					}
+					held[recv] = true
+					continue
+				case "unlock":
+					delete(held, recv)
+					continue
+				}
+			}
+			w.checkStmt(s, held)
+		case *ast.DeferStmt:
+			// defer x.Unlock() pins x held for the rest of the function:
+			// everything after it runs under the lock.
+			if recv, kind := lockOpIn(w.info, s.Call); kind == "unlock" {
+				held[recv] = true
+				continue
+			}
+			w.checkStmt(s, held)
+		case *ast.BlockStmt:
+			w.walkBlock(s.List, copyHeld(held))
+			for recv := range w.nestedUnlocks(s) {
+				delete(held, recv)
+			}
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			w.walkNested(st, held)
+		default:
+			w.checkStmt(st, held)
+		}
+	}
+}
+
+// walkNested handles a control-flow statement. A nested path that
+// releases a held lock anywhere makes that lock "released" both inside
+// and after the statement (conservative: a missed report beats a false
+// one); everything still held flows into the nested statement lists,
+// each with its own copy so sibling branches stay independent.
+func (w *lockWalker) walkNested(st ast.Stmt, held map[string]bool) {
+	released := w.nestedUnlocks(st)
+	entry := copyHeld(held)
+	for recv := range released {
+		delete(entry, recv)
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			w.walkBlock(nn.List, copyHeld(entry))
+			return false
+		case *ast.CaseClause:
+			w.walkBlock(nn.Body, copyHeld(entry))
+			return false
+		case *ast.CommClause:
+			w.walkBlock(nn.Body, copyHeld(entry))
+			return false
+		}
+		return true
+	})
+	for recv := range released {
+		delete(held, recv)
+	}
+}
+
+// nestedUnlocks collects the mutexes an unlock call anywhere inside n
+// (outside nested function literals) may release.
+func (w *lockWalker) nestedUnlocks(n ast.Node) map[string]bool {
+	released := map[string]bool{}
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if _, ok := nn.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := nn.(*ast.CallExpr); ok {
+			if recv, kind := lockOpIn(w.info, call); kind == "unlock" {
+				released[recv] = true
+			}
+		}
+		return true
+	})
+	return released
+}
+
+// checkStmt reports blocking calls inside a statement while locks are
+// held. Function literals are skipped: they execute later.
+func (w *lockWalker) checkStmt(st ast.Node, held map[string]bool) {
+	if len(held) == 0 || w.exemptHeld {
+		return
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(w.info, call)
+		if fn == nil {
+			return true
+		}
+		what, via := "", ""
+		if direct := w.seed(fn); direct != "" {
+			what = direct
+		} else if r, ok := w.blocking[fn]; ok {
+			what, via = r.what, r.via
+		}
+		if what == "" {
+			return true
+		}
+		msg := what
+		if via != "" {
+			msg = funcDisplay(fn) + ", which reaches " + what
+		}
+		for _, recv := range sortedKeys(held) {
+			w.diags = append(w.diags, w.m.diag("lockdisc", call.Pos(),
+				"%s held across %s; release the lock before blocking work", recv, msg))
+		}
+		return true
+	})
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockOpIn classifies an expression as a lock or unlock call on a
+// sync.Mutex/RWMutex receiver, returning the receiver's printed
+// spelling ("s.mu") and "lock"/"unlock"/"".
+func lockOpIn(info *types.Info, e ast.Expr) (string, string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || !isSyncLockerRecv(fn) {
+		return "", ""
+	}
+	recv := exprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return recv, "lock"
+	case "Unlock", "RUnlock":
+		return recv, "unlock"
+	}
+	return "", ""
+}
+
+// isSyncLockerRecv reports whether fn's receiver is sync.Mutex or
+// sync.RWMutex (TryLock and friends included via Lock/Unlock names
+// only; TryLock's conditional acquisition is not tracked).
+func isSyncLockerRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOf(sig.Recv().Type())
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && (n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// exprString renders simple receiver expressions ("mu", "s.mu",
+// "s.cache.mu"); anything else degrades to a stable placeholder.
+func exprString(e ast.Expr) string {
+	switch ee := e.(type) {
+	case *ast.Ident:
+		return ee.Name
+	case *ast.SelectorExpr:
+		return exprString(ee.X) + "." + ee.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(ee.X)
+	case *ast.StarExpr:
+		return exprString(ee.X)
+	}
+	return "<mutex>"
+}
+
+// ---- lock copies ----
+
+// runLockCopies flags value copies of types that field-sensitively
+// contain a sync primitive: x := other, x = *p, f(x) where x's type
+// embeds a Mutex/RWMutex/WaitGroup/Once/Cond anywhere in its struct
+// tree. Composite literals and function results are fresh values, not
+// copies of live state, and are not flagged.
+func runLockCopies(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			info := pkg.Info
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.AssignStmt:
+					for _, rhs := range nn.Rhs {
+						if bad := copiedLockType(info, rhs); bad != "" {
+							out = append(out, m.diag("lockdisc", rhs.Pos(),
+								"assignment copies a value containing %s; use a pointer", bad))
+						}
+					}
+				case *ast.CallExpr:
+					if isCopyExemptCall(info, nn) {
+						return true
+					}
+					for _, arg := range nn.Args {
+						if bad := copiedLockType(info, arg); bad != "" {
+							out = append(out, m.diag("lockdisc", arg.Pos(),
+								"call argument copies a value containing %s; pass a pointer", bad))
+						}
+					}
+				case *ast.RangeStmt:
+					if nn.Value != nil {
+						if tv, ok := info.Types[nn.X]; ok {
+							if elem := rangeElemType(tv.Type); elem != nil {
+								if bad := containsSyncPrimitive(elem, map[types.Type]bool{}); bad != "" {
+									out = append(out, m.diag("lockdisc", nn.Value.Pos(),
+										"range value copies an element containing %s; range over indices or pointers", bad))
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// copiedLockType reports the sync primitive a copying expression would
+// duplicate, or "" when the expression is not a live-value copy.
+func copiedLockType(info *types.Info, e ast.Expr) string {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return "" // literals, calls, conversions, &x: not copies of live state
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return ""
+	}
+	return containsSyncPrimitive(tv.Type, map[types.Type]bool{})
+}
+
+// isCopyExemptCall exempts conversions and builtin calls (len, cap,
+// copy, append re-slicing) whose "arguments" are not function-call
+// copies in the flagged sense.
+func isCopyExemptCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); ok {
+			return true
+		}
+		if _, ok := info.Uses[fun].(*types.TypeName); ok {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func rangeElemType(t types.Type) types.Type {
+	switch tt := t.Underlying().(type) {
+	case *types.Slice:
+		return tt.Elem()
+	case *types.Array:
+		return tt.Elem()
+	case *types.Map:
+		return tt.Elem()
+	}
+	return nil
+}
+
+// containsSyncPrimitive walks a type's struct tree for sync.Mutex,
+// RWMutex, WaitGroup, Once or Cond fields and names the first hit.
+func containsSyncPrimitive(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return "sync." + obj.Name()
+			}
+			return "" // other sync types (Map, Pool) are copy-tolerant enough for vet to own
+		}
+		return containsSyncPrimitive(n.Underlying(), seen)
+	}
+	switch tt := t.(type) {
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if bad := containsSyncPrimitive(tt.Field(i).Type(), seen); bad != "" {
+				return bad
+			}
+		}
+	case *types.Array:
+		return containsSyncPrimitive(tt.Elem(), seen)
+	}
+	return ""
+}

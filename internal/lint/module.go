@@ -28,6 +28,19 @@ type Module struct {
 
 	// directives collects every //lint:ignore comment, keyed by filename.
 	directives map[string][]*directive
+	// allow caches the parsed AllowlistFile for one Run; see allow.go.
+	allow *allowlist
+	// graph caches the intra-module call graph for one Module; the
+	// concurrency analyzers share it.
+	graph *callGraph
+}
+
+// callgraph builds (once) and returns the module's call graph.
+func (m *Module) callgraph() *callGraph {
+	if m.graph == nil {
+		m.graph = buildCallGraph(m)
+	}
+	return m.graph
 }
 
 // Package is one type-checked package of the module.
@@ -329,8 +342,11 @@ func (m *Module) suppressed(d Diagnostic) bool {
 }
 
 // Run executes the analyzers, drops suppressed findings, reports
-// malformed suppressions, and returns everything in stable order.
+// malformed suppressions and allowlist lines, and returns everything in
+// stable order. The allowlist is re-read from disk on every Run, so a
+// -fix-allow rewrite between runs is observed.
 func (m *Module) Run(analyzers []*Analyzer) []Diagnostic {
+	m.allow = nil
 	var out []Diagnostic
 	for _, a := range analyzers {
 		for _, d := range a.Run(m) {
@@ -339,6 +355,9 @@ func (m *Module) Run(analyzers []*Analyzer) []Diagnostic {
 			}
 			out = append(out, d)
 		}
+	}
+	if m.allow != nil {
+		out = append(out, m.allow.diags...)
 	}
 	for _, dirs := range m.directives {
 		for _, dir := range dirs {
@@ -391,5 +410,8 @@ func All() []*Analyzer {
 		AnalyzerErrWrap,
 		AnalyzerBinLayout,
 		AnalyzerPlanFirst,
+		AnalyzerGoLeak,
+		AnalyzerLockDisc,
+		AnalyzerChanDisc,
 	}
 }

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadRejectsImportCycle(t *testing.T) {
+	_, err := loadRaw(t, map[string]string{
+		"go.mod":          "module fixture.test/m\n\ngo 1.22\n",
+		"internal/a/a.go": "package a\n\nimport _ \"fixture.test/m/internal/b\"\n",
+		"internal/b/b.go": "package b\n\nimport _ \"fixture.test/m/internal/a\"\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("Load error = %v, want an import-cycle report", err)
+	}
+}
+
+func TestLoadRejectsImportOfMissingModulePackage(t *testing.T) {
+	_, err := loadRaw(t, map[string]string{
+		"go.mod":          "module fixture.test/m\n\ngo 1.22\n",
+		"internal/a/a.go": "package a\n\nimport _ \"fixture.test/m/internal/nothere\"\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "names no package in the module") {
+		t.Fatalf("Load error = %v, want the missing-package report", err)
+	}
+}
+
+func TestLoadRejectsGoModWithoutModuleLine(t *testing.T) {
+	_, err := loadRaw(t, map[string]string{
+		"go.mod": "go 1.22\n",
+		"a.go":   "package m\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "declares no module path") {
+		t.Fatalf("Load error = %v, want the no-module-path report", err)
+	}
+}
+
+func TestLoadRejectsSyntaxErrors(t *testing.T) {
+	_, err := loadRaw(t, map[string]string{
+		"go.mod":          "module fixture.test/m\n\ngo 1.22\n",
+		"internal/a/a.go": "package a\n\nfunc Broken( {\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "lint: parse") {
+		t.Fatalf("Load error = %v, want a parse report", err)
+	}
+}
+
+// loadRaw materializes a fixture tree and returns Load's raw result,
+// for tests that expect the load itself to fail.
+func loadRaw(t *testing.T, files map[string]string) (*Module, error) {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Load(dir)
+}

@@ -2,24 +2,8 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
-	"os"
-	"path/filepath"
-	"strings"
 )
-
-// AllowlistFile is the checked-in viewonly exception list at the module
-// root. Each line names one exported symbol that may keep a concrete
-// builder type in its signature:
-//
-//	internal/core.BuildInvestorGraph   # façade: builds the mutable graph
-//
-// Lines are <module-relative-pkg>.<Func> or <pkg>.<Type>.<Method>; '#'
-// starts a comment. The analyzer verifies the list stays minimal: an
-// entry that no longer names an exported symbol with a builder type in
-// its signature is reported as stale, so dead exceptions cannot linger.
-const AllowlistFile = "crowdlint.allow"
 
 // AnalyzerViewOnly enforces PR 3's read-only-view discipline: outside
 // internal/graph, exported functions and methods must traffic in
@@ -33,8 +17,9 @@ var AnalyzerViewOnly = &Analyzer{
 }
 
 func runViewOnly(m *Module) []Diagnostic {
-	allow, allowPos, diags := loadAllowlist(filepath.Join(m.Root, AllowlistFile))
-	used := map[string]bool{}
+	al := m.loadAllow()
+	allow, _ := al.forAnalyzer("viewonly")
+	var diags []Diagnostic
 	graphPath := m.internalPath("internal/graph")
 
 	for _, pkg := range m.Packages {
@@ -61,57 +46,17 @@ func runViewOnly(m *Module) []Diagnostic {
 				}
 				key := allowKey(pkg, fd, sig)
 				if allow[key] {
-					used[key] = true
+					al.markUsed("viewonly", key)
 					continue
 				}
 				diags = append(diags, m.diag("viewonly", fd.Name.Pos(),
 					"exported %s exposes *graph.%s; accept or return graph.%s instead, or add %q to %s with a justification",
-					key, bad, viewFor(bad), key, AllowlistFile))
+					key, bad, viewFor(bad), "viewonly:"+key, AllowlistFile))
 			}
 		}
 	}
 
-	for entry, pos := range allowPos {
-		if !used[entry] {
-			diags = append(diags, Diagnostic{
-				Pos:      pos,
-				Analyzer: "viewonly",
-				Message: "stale allowlist entry " + entry +
-					": no exported symbol with a builder type in its signature matches it; delete the line",
-			})
-		}
-	}
-	return diags
-}
-
-// loadAllowlist parses the exception file. A missing file simply means an
-// empty allowlist.
-func loadAllowlist(path string) (map[string]bool, map[string]token.Position, []Diagnostic) {
-	allow := map[string]bool{}
-	pos := map[string]token.Position{}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return allow, pos, nil
-	}
-	var diags []Diagnostic
-	for i, line := range strings.Split(string(data), "\n") {
-		if idx := strings.IndexByte(line, '#'); idx >= 0 {
-			line = line[:idx]
-		}
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		p := token.Position{Filename: path, Line: i + 1, Column: 1}
-		if strings.ContainsAny(line, " \t") {
-			diags = append(diags, Diagnostic{Pos: p, Analyzer: "viewonly",
-				Message: "malformed allowlist line: want one <pkg>.<Symbol> per line"})
-			continue
-		}
-		allow[line] = true
-		pos[line] = p
-	}
-	return allow, pos, diags
+	return append(diags, al.stale("viewonly")...)
 }
 
 // allowKey derives a symbol's allowlist spelling: the module-relative

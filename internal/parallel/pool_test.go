@@ -4,9 +4,12 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+
+	"crowdscope/internal/leakcheck"
 )
 
 func TestEachCoversAllIndices(t *testing.T) {
+	leakcheck.Check(t)
 	for _, workers := range []int{1, 2, 4, 9} {
 		p := New(workers)
 		const n = 1000
@@ -35,6 +38,9 @@ func TestEachWorkerIDsBounded(t *testing.T) {
 }
 
 func TestEachErrPropagatesFirstError(t *testing.T) {
+	// The early-error path is the pool's leak hazard: workers past the
+	// failing index must still be joined, not abandoned.
+	leakcheck.Check(t)
 	p := New(4)
 	sentinel := errors.New("boom")
 	var ran atomic.Int32

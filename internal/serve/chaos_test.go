@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"crowdscope/internal/leakcheck"
 )
 
 // chaosStep is one request's observable outcome. Bodies are included:
@@ -155,6 +157,7 @@ func TestChaosServing(t *testing.T) {
 	for _, c := range combos {
 		c := c
 		t.Run(fmt.Sprintf("seed=%d_rate=%v", c.seed, c.rate), func(t *testing.T) {
+			leakcheck.Check(t)
 			first := runChaosScenario(t, c.seed, c.rate)
 			second := runChaosScenario(t, c.seed, c.rate)
 			if !reflect.DeepEqual(first, second) {
@@ -174,6 +177,7 @@ func TestChaosServing(t *testing.T) {
 // exactly 2 successes and 4 shed 429s, and the backend never sees more
 // than one concurrent scan.
 func TestChaosAdmissionBoundAndShed(t *testing.T) {
+	leakcheck.Check(t)
 	bb := &blockingBackend{entered: make(chan struct{}, 16), release: make(chan struct{})}
 	gb := &gaugeBackend{Backend: bb}
 	clk := newFakeClock()

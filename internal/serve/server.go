@@ -337,8 +337,8 @@ func (s *Server) ensureFresh(ctx context.Context) {
 		return
 	}
 	defer s.refreshMu.Unlock()
-	//lint:ignore errwrap a failed opportunistic refresh must not fail the request; the cache is marked stale and the route degrades
-	_ = s.Refresh(ctx)
+	//lint:ignore lockdisc refreshMu held across Refresh IS the single-flight: TryLock turns every concurrent caller into a cache hit instead of a pile-up
+	_ = s.Refresh(ctx) //lint:ignore errwrap a failed opportunistic refresh must not fail the request; the cache is marked stale and the route degrades
 }
 
 // ---- Wire plumbing (the apiserver's conventions: JSON error bodies,
@@ -426,11 +426,11 @@ type Status struct {
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st := Status{
-		InFlight:     s.gate.inFlight(),
-		Queued:       s.gate.queued(),
-		Shed:         s.shed.Load(),
-		Served:       s.served.Load(),
-		Degraded:     s.degraded.Load(),
+		InFlight:       s.gate.inFlight(),
+		Queued:         s.gate.queued(),
+		Shed:           s.shed.Load(),
+		Served:         s.served.Load(),
+		Degraded:       s.degraded.Load(),
 		BreakerState:   s.breaker.State().String(),
 		BreakerTrips:   s.breaker.Trips(),
 		Snapshot:       -1,

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
 	"crowdscope/internal/core"
 	"crowdscope/internal/index"
+	"crowdscope/internal/leakcheck"
 	"crowdscope/internal/query"
 )
 
@@ -268,6 +270,7 @@ func (g *gaugeBackend) peak() int {
 }
 
 func TestServerConcurrencyBoundNeverExceeded(t *testing.T) {
+	leakcheck.Check(t)
 	st := testStore(t, 1)
 	gb := &gaugeBackend{Backend: &StoreBackend{Store: st}}
 	clk := newFakeClock()
@@ -316,6 +319,7 @@ func TestServerConcurrencyBoundNeverExceeded(t *testing.T) {
 }
 
 func TestServerDrain(t *testing.T) {
+	leakcheck.Check(t)
 	st := testStore(t, 1)
 	clk := newFakeClock()
 	srv := New(&StoreBackend{Store: st}, testOptions(clk))
@@ -342,4 +346,51 @@ func TestServerDrain(t *testing.T) {
 	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
 		t.Fatalf("draining healthz = %d, want 200", rec.Code)
 	}
+}
+
+// TestServerDrainGoroutineCountRegression pins the SIGTERM-drain
+// goroutine story: a parked slot holder plus queued waiters whose
+// contexts die mid-wait must all exit, returning the process to its
+// pre-traffic goroutine count. This is the regression net for the gate's
+// deadline-aware acquire — a waiter that ignored ctx.Done would park on
+// the queue channel forever and trip both the count pin and leakcheck.
+func TestServerDrainGoroutineCountRegression(t *testing.T) {
+	leakcheck.Check(t)
+	bb := &blockingBackend{entered: make(chan struct{}, 16), release: make(chan struct{})}
+	clk := newFakeClock()
+	opts := testOptions(clk)
+	opts.MaxConcurrent = 1
+	opts.QueueDepth = 4
+	srv := New(bb, opts)
+	h := srv.Handler()
+	baseline := leakcheck.Count()
+
+	// One request parks in the backend holding the only slot.
+	holder := make(chan struct{})
+	go func() {
+		defer close(holder)
+		get(t, h, queryURL(chaosQuery))
+	}()
+	<-bb.entered
+
+	// Three more queue behind it, then their contexts are cancelled —
+	// the SIGTERM shape: the load balancer gives up on queued requests.
+	ctx, cancel := context.WithCancel(context.Background())
+	var waiters sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		waiters.Add(1)
+		go func() {
+			defer waiters.Done()
+			req := httptest.NewRequest(http.MethodGet, queryURL(chaosQuery), nil).WithContext(ctx)
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}()
+	}
+	waitFor(t, func() bool { return srv.gate.queued() >= 1 })
+	cancel()
+	waiters.Wait()
+
+	srv.BeginDrain()
+	close(bb.release)
+	<-holder
+	waitFor(t, func() bool { return leakcheck.Count() <= baseline })
 }

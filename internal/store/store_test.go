@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"crowdscope/internal/leakcheck"
 )
 
 type rec struct {
@@ -23,6 +25,7 @@ func openTemp(t *testing.T) *Store {
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
+	leakcheck.Check(t)
 	s := openTemp(t)
 	w, err := s.Writer("angellist/startups")
 	if err != nil {
@@ -351,6 +354,7 @@ func TestEmptyFlushIsNoop(t *testing.T) {
 }
 
 func TestConcurrentWritersDistinctNamespaces(t *testing.T) {
+	leakcheck.Check(t)
 	s := openTemp(t)
 	done := make(chan error, 4)
 	for g := 0; g < 4; g++ {

@@ -14,43 +14,42 @@ go vet ./...
 go build ./...
 
 # Invariant analyzers run before the tests: a determinism/viewonly/
-# ctxthread/errwrap/binlayout violation (or a stale crowdlint.allow
-# entry — the tool reports those as findings) fails CI before a single
+# ctxthread/errwrap/binlayout/planfirst violation, a concurrency-safety
+# finding from goleak/lockdisc/chandisc, or a stale crowdlint.allow
+# entry (the tool reports those as findings) fails CI before a single
 # test executes.
 go run ./cmd/crowdlint ./...
 
+# Race-detector suites. halt_on_error=1 makes the first detected race
+# fail the run immediately instead of racing on and burying the report
+# mid-log. Each named suite pins one equivalence or resilience claim:
+#
+#   frozen-view        builder and frozen-CSR analyses are bit-identical
+#                      on every parallel kernel
+#   serve-chaos        seeded backend faults yield bounded error rates,
+#                      deterministic breaker transitions, stale-marked
+#                      degradation — and drained goroutine counts
+#   index-scan         planner index routes stay byte-identical to the
+#                      scan route; corrupt index blobs fail loudly
+#   delta-refreeze     delta-applied snapshots match a full refreeze;
+#                      crash-interrupted chains recover byte-identically
+#   sharded-freeze     streaming generation and shard-at-a-time freezes
+#                      match the in-memory single-pass paths
+export GORACE="halt_on_error=1"
+
 go test -race ./...
 
-# Frozen-vs-builder equivalence under the race detector: the read-only
-# View refactor promises bit-identical analyses from the mutable builder
-# and the frozen CSR snapshot, on every parallel kernel.
-go test -race -run 'Frozen' ./internal/graph ./internal/core .
+run_suite() {
+  local name="$1" pattern="$2"; shift 2
+  echo "=== race suite: $name ==="
+  go test -race -run "$pattern" "$@"
+}
 
-# Serving-layer chaos suite under the race detector: seeded backend
-# faults must yield bounded error rates, deterministic breaker
-# transitions and stale-marked degradation with no data races in the
-# gate/breaker/cache hot paths.
-go test -race -run 'Chaos' ./internal/serve
-
-# Index/scan equivalence under the race detector: the query planner's
-# index routes must stay byte-identical to the scan route on random
-# worlds, and corrupted index blobs must fail loudly into a scan
-# fallback — with no races in the lazy index-load/result-cache paths.
-go test -race -run 'TestIndexRouteMatchesScanRouteProperty|TestCorruptIndexBlobFailsLoudly|TestIndexedRouteBodiesMatchScanRoute' ./internal/core ./internal/serve
-
-# Delta==refreeze equivalence under the race detector: incremental
-# delta-applied snapshots and their indexes must stay bit-identical to a
-# full refreeze at every round (64/512/4096-entity worlds, multiple
-# seeds), crash-interrupted chains must recover to the fault-free bytes,
-# and the crawl-diff fast path must agree with the full re-merge.
-go test -race -run 'TestDeltaRefreezeEquivalenceProperty|TestRecoverChainAfterCrash|TestDiffCrawlFastSlowAgree' ./internal/core
-
-# Sharded==unsharded byte-identity under the race detector: the
-# streaming generator must emit record-identical worlds to the in-memory
-# path, and the shard-at-a-time freeze must produce frozen artifacts
-# byte-identical to the single-pass builder (small-K worlds at
-# 64/512/4096 entities, plus the K=1 legacy-store degenerate case).
-go test -race -run 'TestGenerateToMatchesGenerate|TestShardedFreeze' ./internal/ecosystem ./internal/core
+run_suite frozen-view    'Frozen' ./internal/graph ./internal/core .
+run_suite serve-chaos    'Chaos|TestServerDrainGoroutineCountRegression' ./internal/serve
+run_suite index-scan     'TestIndexRouteMatchesScanRouteProperty|TestCorruptIndexBlobFailsLoudly|TestIndexedRouteBodiesMatchScanRoute' ./internal/core ./internal/serve
+run_suite delta-refreeze 'TestDeltaRefreezeEquivalenceProperty|TestRecoverChainAfterCrash|TestDiffCrawlFastSlowAgree' ./internal/core
+run_suite sharded-freeze 'TestGenerateToMatchesGenerate|TestShardedFreeze' ./internal/ecosystem ./internal/core
 
 # Per-package coverage floors (percent).
 check_coverage() {
@@ -79,6 +78,9 @@ check_coverage ./internal/graph 70
 # The lint framework gates every other invariant, so it carries its own
 # floor: analyzers must stay fixture-tested as they grow.
 check_coverage ./internal/lint 70
+# The runtime leak harness backs every suite's goroutine hygiene
+# assertions; a rotted parser or filter silently passes leaks through.
+check_coverage ./internal/leakcheck 70
 # The resilient serving layer: admission, breaker and degradation paths
 # are exactly the code that only misbehaves under production stress, so
 # the chaos/unit suites must keep exercising them.
