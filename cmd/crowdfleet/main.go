@@ -1,0 +1,286 @@
+// Command crowdfleet runs the distributed collection + replicated
+// serving demo in one process tree: it generates a world, serves it
+// through the simulated APIs, partitions the raising listing across N
+// lease-coordinated crawl workers, merges their partial snapshots into
+// one frozen artifact (byte-identical to a single-worker crawl), brings
+// up M read-only serving replicas over the merged store, and fronts
+// them with a health-checked round-robin proxy.
+//
+// Usage:
+//
+//	crowdfleet -seed 42 -scale 0.01 -store ./fleet-data -addr :8080
+//	crowdfleet -store ./fleet-data -crawl-workers 4 -partitions 8 -replicas 3
+//	crowdfleet -store ./fleet-data -fault-rate 0.05 -fault-seed 7   # chaos run
+//
+// Workers claim seed partitions through fencing-token leases persisted
+// in the store's fleet/leases namespace; a crashed worker's lease
+// expires (-lease-ttl) and a surviving worker resumes its partition
+// from the fenced checkpoints. The front serves /healthz plus every
+// crowdserve route, retrying idempotent reads on the next replica so a
+// dying replica never surfaces a 5xx while another is healthy.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdscope/internal/apiserver"
+	"crowdscope/internal/crawler"
+	"crowdscope/internal/ecosystem"
+	"crowdscope/internal/fleet"
+	"crowdscope/internal/fleet/front"
+	"crowdscope/internal/serve"
+	"crowdscope/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crowdfleet: ")
+	seed := flag.Int64("seed", 42, "generation seed")
+	scale := flag.Float64("scale", 0.01, "fraction of paper scale")
+	storeDir := flag.String("store", "fleet-data", "store directory shared by the fleet")
+	addr := flag.String("addr", ":8080", "front listen address")
+	crawlWorkers := flag.Int("crawl-workers", 3, "fleet crawl workers")
+	partitions := flag.Int("partitions", 0, "seed partitions (default 2x workers)")
+	fetchers := flag.Int("fetchers", 4, "parallel fetches per worker")
+	replicas := flag.Int("replicas", 2, "serving replicas behind the front")
+	leaseTTL := flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "partition lease lifetime without renewal")
+	maxWaves := flag.Int("max-waves", 10, "worker waves before giving up the crawl")
+	faultRate := flag.Float64("fault-rate", 0, "deterministic per-kind fault rate [0,0.2)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+	flag.Parse()
+	if *partitions <= 0 {
+		*partitions = 2 * *crawlWorkers
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, config{
+		seed: *seed, scale: *scale, storeDir: *storeDir, addr: *addr,
+		workers: *crawlWorkers, partitions: *partitions, fetchers: *fetchers,
+		replicas: *replicas, leaseTTL: *leaseTTL, maxWaves: *maxWaves,
+		faultRate: *faultRate, faultSeed: *faultSeed, drainTimeout: *drainTimeout,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type config struct {
+	seed         int64
+	scale        float64
+	storeDir     string
+	addr         string
+	workers      int
+	partitions   int
+	fetchers     int
+	replicas     int
+	leaseTTL     time.Duration
+	maxWaves     int
+	faultRate    float64
+	faultSeed    int64
+	drainTimeout time.Duration
+}
+
+func run(ctx context.Context, cfg config) error {
+	// The simulated social APIs the fleet crawls, on a loopback port.
+	world, err := ecosystem.Generate(ecosystem.NewConfig(cfg.seed, cfg.scale))
+	if err != nil {
+		return err
+	}
+	var faults *apiserver.FaultConfig
+	if cfg.faultRate > 0 {
+		faults = &apiserver.FaultConfig{
+			Seed: cfg.faultSeed,
+			Default: apiserver.FaultProfile{
+				ServerError: cfg.faultRate,
+				RateLimit:   cfg.faultRate / 2,
+				Truncate:    cfg.faultRate / 2,
+				Reset:       cfg.faultRate / 2,
+			},
+		}
+	}
+	api := apiserver.New(world, apiserver.Options{
+		Tokens: []string{"t1", "t2", "t3"},
+		Faults: faults,
+	})
+	apiURL, apiClose, err := serveLoopback(api.Handler())
+	if err != nil {
+		return err
+	}
+	defer apiClose()
+	fmt.Printf("simulated APIs on %s\n", apiURL)
+
+	st, err := store.Open(cfg.storeDir)
+	if err != nil {
+		return err
+	}
+	tokens := []string{"t1", "t2", "t3"}
+	coord, err := crawler.NewClient(apiURL, tokens)
+	if err != nil {
+		return err
+	}
+	seeds, err := coord.RaisingStartups(ctx)
+	if err != nil {
+		return err
+	}
+	parts := fleet.PartitionSeeds(seeds, cfg.partitions)
+	fmt.Printf("fleet: %d seeds in %d partitions, %d workers\n", len(seeds), len(parts), cfg.workers)
+
+	leases := &fleet.Leases{Store: st, Clock: time.Now, TTL: cfg.leaseTTL}
+	for wave := 0; ; wave++ {
+		done, err := fleet.AllDone(ctx, st, parts)
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+		if wave >= cfg.maxWaves {
+			return fmt.Errorf("crawl incomplete after %d worker waves", wave)
+		}
+		workers := make([]*fleet.Worker, cfg.workers)
+		for i := range workers {
+			client, err := crawler.NewClient(apiURL, tokens)
+			if err != nil {
+				return err
+			}
+			// A worker sleeping past its lease TTL would be fenced out
+			// anyway; fail the partition attempt instead and let the
+			// next wave resume from its checkpoints.
+			client.MaxSleepPerCall = cfg.leaseTTL
+			workers[i] = &fleet.Worker{
+				ID:       fmt.Sprintf("worker-%d-wave-%d", i, wave),
+				Client:   client,
+				Store:    st,
+				Leases:   leases,
+				Fetchers: cfg.fetchers,
+			}
+		}
+		if err := fleet.RunWorkers(ctx, workers, parts); err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			// Worker failures (fault budgets, fenced leases) are not
+			// fatal to the fleet: surviving checkpoints carry the next
+			// wave forward once stale leases expire.
+			log.Printf("wave %d: %v", wave, err)
+			sleepCtx(ctx, cfg.leaseTTL)
+		}
+		for _, w := range workers {
+			fmt.Printf("  %s: claimed %d, completed %d partitions\n", w.ID, w.Claimed, w.Completed)
+		}
+	}
+
+	merged, err := fleet.MergePartitions(ctx, st, parts)
+	if err != nil {
+		return err
+	}
+	snap, err := fleet.CommitMerged(ctx, st, merged, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged %d startups, %d users; frozen snapshot %d committed\n",
+		len(merged.Startups), len(merged.Users), snap)
+
+	// Read side: M replicas over read-only handles of the merged store,
+	// a health-checked round-robin front on cfg.addr.
+	targets := make([]string, cfg.replicas)
+	servers := make([]*serve.Server, cfg.replicas)
+	for i := 0; i < cfg.replicas; i++ {
+		rst, err := store.OpenReadOnly(cfg.storeDir)
+		if err != nil {
+			return err
+		}
+		srv := serve.New(&serve.StoreBackend{Store: rst}, serve.Options{
+			Logf:      log.Printf,
+			Clock:     time.Now,
+			ReplicaID: fmt.Sprintf("replica-%d", i),
+		})
+		if err := srv.Refresh(ctx); err != nil {
+			return err
+		}
+		url, closeFn, err := serveLoopback(srv.Handler())
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+		targets[i] = url
+		servers[i] = srv
+		fmt.Printf("replica-%d serving on %s\n", i, url)
+	}
+	fr, err := front.New(targets, front.Options{Logf: log.Printf})
+	if err != nil {
+		return err
+	}
+	go func() {
+		t := time.NewTicker(front.DefaultCheckInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				fr.CheckNow(ctx)
+			}
+		}
+	}()
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: fr.Handler()}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Print("signal received; draining")
+		for _, srv := range servers {
+			srv.BeginDrain()
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	fmt.Printf("front serving %d replicas on %s\n", cfg.replicas, cfg.addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-drained
+	log.Print("drained; bye")
+	return nil
+}
+
+// serveLoopback serves h on an ephemeral loopback port and returns its
+// base URL plus a closer.
+func serveLoopback(h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("loopback server: %v", err)
+		}
+	}()
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// sleepCtx waits d or until ctx is canceled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -34,6 +34,13 @@ import (
 // not failures.
 var ErrNotFound = errors.New("crawler: not found")
 
+// ErrBackoffBudget marks a call abandoned because its cumulative retry
+// and rate-limit sleeping hit MaxSleepPerCall. A fleet worker that sees
+// it fails the current partition attempt instead of sleeping past its
+// lease expiry (where a hostile Retry-After would otherwise park it
+// until another worker fences it out).
+var ErrBackoffBudget = errors.New("crawler: backoff budget exhausted")
+
 // Client is a rate-limit-aware, retrying HTTP client for the simulated
 // services. It is safe for concurrent use.
 type Client struct {
@@ -53,6 +60,19 @@ type Client struct {
 	// when every token is rate limited; tests inject fakes. The default
 	// (nil) sleeps on a timer that respects context cancellation.
 	Sleep func(time.Duration)
+	// Clock supplies the current time for HTTP-date Retry-After math;
+	// nil means time.Now. Tests inject fakes so date headers resolve to
+	// deterministic waits.
+	Clock apiserver.Clock
+	// MaxSleepPerCall caps cumulative sleeping (backoff plus rate-limit
+	// waits) within one call. Individual waits are clamped to the
+	// remaining budget; a call that would sleep with nothing left fails
+	// with ErrBackoffBudget instead. 0 disables the cap — a lone crawler
+	// legitimately sleeps out whole Twitter rate windows, which is the
+	// paper's documented crawl reality. Fleet workers set it to their
+	// lease TTL so a hostile or skewed Retry-After header cannot park
+	// them past expiry (crowdfleet wires this up).
+	MaxSleepPerCall time.Duration
 
 	tokenCursor atomic.Uint64
 
@@ -135,20 +155,68 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// now returns the injected clock's time, defaulting to the wall clock.
+func (c *Client) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
+}
+
+// retryAfterDelay interprets a Retry-After header value as either
+// delta-seconds or an HTTP-date (RFC 9110 allows both forms; real APIs
+// send both). ok is false when the value is absent, unparseable,
+// non-positive, or a date already in the past.
+func (c *Client) retryAfterDelay(ra string) (time.Duration, bool) {
+	if ra == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second, true
+		}
+		return 0, false
+	}
+	if when, err := http.ParseTime(ra); err == nil {
+		if d := when.Sub(c.now()); d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
 // getJSON fetches path (with query) into out, handling auth, retries and
 // token rotation. A 429 rotates to the next token immediately; when all
-// tokens are exhausted it sleeps for the smallest Retry-After observed.
-// Truncated or malformed 200 bodies are re-fetched like transient
-// failures. All waits abort promptly on context cancellation.
+// tokens are exhausted it sleeps out the window's Retry-After (either
+// wire form). Truncated or malformed 200 bodies are re-fetched like
+// transient failures. All waits abort promptly on context cancellation,
+// and their sum is capped by MaxSleepPerCall: individual waits are
+// clamped to the remaining budget, and once it is gone the call fails
+// with ErrBackoffBudget.
 func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out any) error {
 	attempt := 0
 	rotations := 0
+	var slept time.Duration
+	budgetedSleep := func(d time.Duration) error {
+		budget := c.MaxSleepPerCall
+		if budget > 0 {
+			remaining := budget - slept
+			if remaining <= 0 {
+				return fmt.Errorf("%w (cap %v)", ErrBackoffBudget, budget)
+			}
+			if d > remaining {
+				d = remaining
+			}
+		}
+		slept += d
+		return c.sleep(ctx, d)
+	}
 	retryTransient := func(cause error) error {
 		if attempt >= c.MaxRetries {
 			return cause
 		}
 		c.bump(func(s *ClientStats) { s.Retries++ })
-		if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
+		if err := budgetedSleep(c.backoff(attempt)); err != nil {
 			return fmt.Errorf("crawler: %s: %w", path, err)
 		}
 		attempt++
@@ -207,13 +275,11 @@ func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out
 			}
 			// Every token exhausted: wait out the window.
 			retry := 2 * time.Second
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-					retry = time.Duration(secs) * time.Second
-				}
+			if d, ok := c.retryAfterDelay(resp.Header.Get("Retry-After")); ok {
+				retry = d
 			}
 			c.bump(func(s *ClientStats) { s.TokenSleeps++ })
-			if err := c.sleep(ctx, retry); err != nil {
+			if err := budgetedSleep(retry); err != nil {
 				return fmt.Errorf("crawler: %s: %w", path, err)
 			}
 			rotations = 0

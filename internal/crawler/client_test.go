@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -141,6 +142,113 @@ func TestTruncatedBodyRefetched(t *testing.T) {
 	if fs := srv.FaultStats(); fs.Truncates == 0 {
 		t.Error("server reports no truncations")
 	}
+}
+
+// TestRetryAfterFormats covers both wire forms of Retry-After (RFC 9110
+// delta-seconds and HTTP-date) against an injected clock: the date form
+// must resolve to the exact wait between the client's clock and the
+// header's instant, and unusable values (past dates, garbage) fall back
+// to the default window.
+func TestRetryAfterFormats(t *testing.T) {
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"delta seconds", "7", 7 * time.Second},
+		{"http date", base.Add(5 * time.Second).Format(http.TimeFormat), 5 * time.Second},
+		{"past http date", base.Add(-time.Minute).Format(http.TimeFormat), 2 * time.Second},
+		{"garbage", "soon", 2 * time.Second},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int32
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if calls.Add(1) == 1 {
+					w.Header().Set("Retry-After", tc.header)
+					http.Error(w, `{"error":"rate limited"}`, http.StatusTooManyRequests)
+					return
+				}
+				fmt.Fprint(w, `{"id":"s1"}`)
+			}))
+			defer ts.Close()
+			client, err := NewClient(ts.URL, []string{"only-token"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var slept []time.Duration
+			client.Sleep = func(d time.Duration) { slept = append(slept, d) }
+			client.Clock = func() time.Time { return base }
+
+			st, err := client.Startup(context.Background(), "s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.ID != "s1" {
+				t.Fatalf("startup id = %q", st.ID)
+			}
+			if len(slept) != 1 || slept[0] != tc.want {
+				t.Fatalf("slept %v, want exactly [%v]", slept, tc.want)
+			}
+			if cs := client.Stats(); cs.RateLimitHits != 1 || cs.TokenSleeps != 1 {
+				t.Fatalf("stats = %+v, want one rate-limit hit and one token sleep", cs)
+			}
+		})
+	}
+}
+
+// TestBackoffBudgetCapsTotalSleep: a hostile (or skewed) server that
+// keeps demanding hour-long waits must not stall a call forever — the
+// cumulative sleep within one call is capped by MaxSleepPerCall and the
+// call fails with the typed ErrBackoffBudget.
+func TestBackoffBudgetCapsTotalSleep(t *testing.T) {
+	t.Run("rate limit waits", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, `{"error":"rate limited"}`, http.StatusTooManyRequests)
+		}))
+		defer ts.Close()
+		client, err := NewClient(ts.URL, []string{"only-token"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client.MaxSleepPerCall = 5 * time.Second
+		var total time.Duration
+		client.Sleep = func(d time.Duration) { total += d }
+
+		_, err = client.Startup(context.Background(), "s1")
+		if !errors.Is(err, ErrBackoffBudget) {
+			t.Fatalf("err = %v, want ErrBackoffBudget", err)
+		}
+		if total > 5*time.Second {
+			t.Fatalf("slept %v total, budget was 5s", total)
+		}
+	})
+	t.Run("retry backoff", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":"always failing"}`, http.StatusInternalServerError)
+		}))
+		defer ts.Close()
+		client, err := NewClient(ts.URL, []string{"tok"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client.MaxRetries = 50
+		client.BaseBackoff = time.Second
+		client.MaxSleepPerCall = 3 * time.Second
+		var total time.Duration
+		client.Sleep = func(d time.Duration) { total += d }
+
+		_, err = client.Startup(context.Background(), "s1")
+		if !errors.Is(err, ErrBackoffBudget) {
+			t.Fatalf("err = %v, want ErrBackoffBudget", err)
+		}
+		if total > 3*time.Second {
+			t.Fatalf("slept %v total, budget was 3s", total)
+		}
+	})
 }
 
 // TestParallelRecordsAllErrors: after the first failure no new work is

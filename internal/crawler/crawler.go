@@ -3,6 +3,7 @@ package crawler
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -49,6 +50,14 @@ type Crawler struct {
 	MaxRounds int
 	// SkipAugmentation collects only the AngelList graph.
 	SkipAugmentation bool
+	// Seeds, when non-empty, replaces the raising listing as the BFS
+	// seed set (worker mode): a fleet coordinator fetches the listing
+	// once, partitions it, and hands each worker its slice. The crawl is
+	// otherwise identical — the union of worker crawls over a partition
+	// of the listing collects exactly what one crawl of the whole
+	// listing does, because the fetched data is a pure function of the
+	// served world.
+	Seeds []string
 	// Checkpoint, when non-nil, persists progress after every BFS round
 	// and augmentation batch so an interrupted crawl can resume. The
 	// collected data is unchanged by interruption: a resumed crawl
@@ -106,7 +115,15 @@ func (cr *Crawler) Run(ctx context.Context) (*Snapshot, error) {
 		if cr.Checkpoint == nil {
 			return nil
 		}
+		if cr.Checkpoint.Guard != nil {
+			// Fleet workers verify their lease here; a fenced-out worker
+			// aborts before it can write a stale checkpoint.
+			if err := cr.Checkpoint.Guard(ctx); err != nil {
+				return fmt.Errorf("crawler: checkpoint guard: %w", err)
+			}
+		}
 		cp.Seq = cpSeq
+		cp.Fence = cr.Checkpoint.Fence
 		cp.Snap = snap
 		if err := SaveCheckpoint(ctx, cr.Checkpoint.Store, cr.Checkpoint.namespace(), &cp); err != nil {
 			return err
@@ -120,10 +137,15 @@ func (cr *Crawler) Run(ctx context.Context) (*Snapshot, error) {
 
 	if phase == PhaseBFS {
 		if !seeded {
-			// Phase 1 start: seed the BFS from the raising listing.
-			seeds, err := cr.Client.RaisingStartups(ctx)
-			if err != nil {
-				return nil, err
+			// Phase 1 start: seed the BFS from the raising listing, or
+			// from the caller-supplied partition in worker mode.
+			seeds := cr.Seeds
+			if len(seeds) == 0 {
+				var err error
+				seeds, err = cr.Client.RaisingStartups(ctx)
+				if err != nil {
+					return nil, err
+				}
 			}
 			snap.Stats.SeedStartups = len(seeds)
 			startupFrontier = dedupe(seeds)

@@ -42,6 +42,7 @@ var hotBufferPkgs = map[string]bool{
 	"internal/serve":    true,
 	"internal/crawler":  true,
 	"internal/store":    true,
+	"internal/fleet":    true,
 }
 
 // chanSite is one send or close occurrence of a tracked channel object.

@@ -25,6 +25,11 @@ var deterministicPackages = map[string]bool{
 	"internal/predict":   true,
 	"internal/serve":     true,
 	"internal/index":     true,
+	// The fleet's lease expiry and the front's probe pacing both run on
+	// injected clocks; a wall-clock read here would make lease reclaim
+	// schedules — and thus chaos replays — nondeterministic.
+	"internal/fleet":       true,
+	"internal/fleet/front": true,
 }
 
 // allowedRandFuncs are math/rand package-level constructors that build

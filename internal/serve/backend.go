@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -60,16 +61,21 @@ func (b *StoreBackend) source() *core.QuerySource {
 
 // LatestFrozen implements Backend. It first re-reads the store manifest
 // so snapshots committed by another process (a crawler writing to the
-// store this server serves from) become visible to the refresh poll.
-// The reload is best-effort: if it fails (e.g. an embedded caller holds
-// an open writer on this handle mid-commit), the handle's current view
-// is still a consistent snapshot of the store and serving slightly
-// behind is exactly the degradation contract.
+// store this server serves from) become visible to the refresh poll. A
+// reload refused with store.ErrWritersOpen is benign — an embedded
+// caller holds an open writer on this handle mid-commit, and the
+// current manifest view is still a consistent snapshot, so serving
+// slightly behind is exactly the degradation contract. Any other reload
+// failure means the manifest itself cannot be re-read and is surfaced,
+// so the breaker and the fleet front's health probe see a sick replica
+// instead of one that silently stopped advancing.
 func (b *StoreBackend) LatestFrozen(ctx context.Context) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, fmt.Errorf("serve: latest frozen: %w", err)
 	}
-	_ = b.Store.Reload() //lint:ignore errwrap best-effort refresh; the current manifest view stays valid
+	if err := b.Store.Reload(); err != nil && !errors.Is(err, store.ErrWritersOpen) {
+		return 0, fmt.Errorf("serve: latest frozen: %w", err)
+	}
 	return core.LatestFrozen(b.Store)
 }
 

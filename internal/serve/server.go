@@ -22,6 +22,10 @@ import (
 // value is the served snapshot's namespace tag, e.g. "snap-000002".
 const HeaderStale = "X-CrowdScope-Stale"
 
+// HeaderReplica carries Options.ReplicaID on every response of a
+// replica that has one, identifying which fleet member served.
+const HeaderReplica = "X-CrowdScope-Replica"
+
 // DefaultRouteTimeout bounds each /api request end to end; the deadline
 // propagates as a context through query, core and store reads.
 const DefaultRouteTimeout = 5 * time.Second
@@ -62,6 +66,11 @@ type Options struct {
 	Logf func(format string, args ...any)
 	// Clock supplies all serving-layer time.
 	Clock apiserver.Clock
+	// ReplicaID names this serving replica in a fleet. When set, every
+	// response carries it in HeaderReplica and /statusz reports it, so
+	// the fleet front (and its failover tests) can observe which replica
+	// actually served.
+	ReplicaID string
 }
 
 func (o *Options) fill() {
@@ -171,8 +180,17 @@ type SnapshotStats struct {
 	Graph     core.GraphStats `json:"graph"`
 }
 
-// Handler returns the root handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler. With a ReplicaID configured it
+// stamps HeaderReplica on every response first.
+func (s *Server) Handler() http.Handler {
+	if s.opts.ReplicaID == "" {
+		return s.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(HeaderReplica, s.opts.ReplicaID)
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Breaker exposes the backend-read breaker for observability and tests.
 func (s *Server) Breaker() *Breaker { return s.breaker }
@@ -422,6 +440,7 @@ type Status struct {
 	CacheEntries       int              `json:"result_cache_entries"`
 	PlanRoutes         map[string]int64 `json:"plan_routes,omitempty"`
 	LastPlanFallback   string           `json:"last_plan_fallback,omitempty"`
+	Replica            string           `json:"replica,omitempty"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -437,6 +456,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		DeltaRefreshes: s.deltaRefreshes.Load(),
 		FullReloads:    s.fullReloads.Load(),
 		Draining:       s.draining.Load(),
+		Replica:        s.opts.ReplicaID,
 	}
 	if fs, stale := s.cache.get(); fs != nil {
 		st.Snapshot = fs.Snapshot

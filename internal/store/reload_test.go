@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -146,6 +148,15 @@ func TestReloadRefusedWithOpenWriters(t *testing.T) {
 	err = s.Reload()
 	if err == nil || !strings.Contains(err.Error(), "open writers") {
 		t.Fatalf("Reload with an open writer: %v", err)
+	}
+	// The refusal is a typed, benign condition: callers that poll Reload
+	// opportunistically (the serving layer's refresh) distinguish it from
+	// real manifest failures with errors.Is instead of string matching.
+	if !errors.Is(err, ErrWritersOpen) {
+		t.Fatalf("Reload refusal is not ErrWritersOpen: %v", err)
+	}
+	if !errors.Is(fmt.Errorf("wrapped: %w", err), ErrWritersOpen) {
+		t.Fatal("ErrWritersOpen lost through wrapping")
 	}
 	if !s.HasBlob("frozen/snap-000000") {
 		t.Fatal("refused Reload disturbed the current manifest view")

@@ -15,6 +15,13 @@ import (
 // DefaultSegmentBytes is the rotation threshold for active segments.
 const DefaultSegmentBytes = 8 << 20
 
+// ErrWritersOpen marks a Reload refused because the handle has open
+// writers whose pending commits would race the fresh manifest. Callers
+// that poll Reload opportunistically (a serving replica's health probe,
+// an embedded reader next to a live crawler) match it with errors.Is to
+// tell "busy, try later" apart from a genuinely unreadable manifest.
+var ErrWritersOpen = errors.New("store: open writers")
+
 // Store is a directory-rooted collection of append-only JSON namespaces.
 // A Store is safe for concurrent use; each namespace admits one open
 // Writer at a time while any number of readers scan committed data.
@@ -80,7 +87,7 @@ func (s *Store) Reload() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.writers) > 0 {
-		return fmt.Errorf("store: reload: %d namespaces have open writers", len(s.writers))
+		return fmt.Errorf("store: reload: %d namespaces have open writers: %w", len(s.writers), ErrWritersOpen)
 	}
 	m, err := loadManifest(s.dir)
 	if err != nil {

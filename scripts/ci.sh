@@ -35,6 +35,10 @@ go run ./cmd/crowdlint ./...
 #                      crash-interrupted chains recover byte-identically
 #   sharded-freeze     streaming generation and shard-at-a-time freezes
 #                      match the in-memory single-pass paths
+#   fleet-chaos        workers SIGKILLed mid-round still merge to an
+#                      artifact bit-identical to a fault-free single-
+#                      worker crawl; the front serves zero 5xx while at
+#                      least one replica survives mid-request kills
 export GORACE="halt_on_error=1"
 
 go test -race ./...
@@ -50,6 +54,7 @@ run_suite serve-chaos    'Chaos|TestServerDrainGoroutineCountRegression' ./inter
 run_suite index-scan     'TestIndexRouteMatchesScanRouteProperty|TestCorruptIndexBlobFailsLoudly|TestIndexedRouteBodiesMatchScanRoute' ./internal/core ./internal/serve
 run_suite delta-refreeze 'TestDeltaRefreezeEquivalenceProperty|TestRecoverChainAfterCrash|TestDiffCrawlFastSlowAgree' ./internal/core
 run_suite sharded-freeze 'TestGenerateToMatchesGenerate|TestShardedFreeze' ./internal/ecosystem ./internal/core
+run_suite fleet-chaos    'TestFleetChaosKillWorkersMergeBitIdentical|TestShardedKillResumeFrozenBitIdentical|TestFrontFailoverMidRequestKillZero5xx|TestFrontAllReplicasDown503' ./internal/fleet ./internal/fleet/front
 
 # Per-package coverage floors (percent).
 check_coverage() {
@@ -97,3 +102,8 @@ check_coverage ./internal/snapshot 70
 # measures against (streaming==in-memory generation, sharded==unsharded
 # freeze), so its distribution and emission paths carry a floor too.
 check_coverage ./internal/ecosystem 70
+# The fleet's lease/fence/merge machinery is pure coordination logic:
+# every line exists to survive a crash, so untested lines are exactly
+# the ones that corrupt a merge when a worker dies at the wrong moment.
+check_coverage ./internal/fleet 70
+check_coverage ./internal/fleet/front 70
